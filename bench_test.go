@@ -1,0 +1,124 @@
+package coma
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation at the Bench campaign scale (use cmd/comabench for the
+// quick/full campaigns). Each benchmark iteration performs the full set
+// of simulations behind its table; the regenerated table is printed once
+// per benchmark so `go test -bench=.` reproduces the whole evaluation.
+
+var benchPrintOnce sync.Map
+
+func benchTable(b *testing.B, id string, gen func(*ExperimentSuite) (*ReportTable, error)) {
+	b.Helper()
+	var last *ReportTable
+	for i := 0; i < b.N; i++ {
+		suite := NewExperiments(BenchExperiments())
+		t, err := gen(suite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if _, printed := benchPrintOnce.LoadOrStore(id, true); !printed && last != nil {
+		b.StopTimer()
+		fmt.Println()
+		if err := last.Fprint(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkTable1Injections(b *testing.B) {
+	benchTable(b, "table1", func(s *ExperimentSuite) (*ReportTable, error) { return s.Table1() })
+}
+
+func BenchmarkTable2Latency(b *testing.B) {
+	benchTable(b, "table2", func(s *ExperimentSuite) (*ReportTable, error) { return s.Table2() })
+}
+
+func BenchmarkTable3Apps(b *testing.B) {
+	benchTable(b, "table3", func(s *ExperimentSuite) (*ReportTable, error) { return s.Table3() })
+}
+
+func BenchmarkFig3TimeOverhead(b *testing.B) {
+	benchTable(b, "fig3", func(s *ExperimentSuite) (*ReportTable, error) { return s.Fig3() })
+}
+
+func BenchmarkFig4ReplicationThroughput(b *testing.B) {
+	benchTable(b, "fig4", func(s *ExperimentSuite) (*ReportTable, error) { return s.Fig4() })
+}
+
+func BenchmarkFig5MissRate(b *testing.B) {
+	benchTable(b, "fig5", func(s *ExperimentSuite) (*ReportTable, error) { return s.Fig5() })
+}
+
+func BenchmarkFig6Injections(b *testing.B) {
+	benchTable(b, "fig6", func(s *ExperimentSuite) (*ReportTable, error) { return s.Fig6() })
+}
+
+func BenchmarkFig7MemoryOverhead(b *testing.B) {
+	benchTable(b, "fig7", func(s *ExperimentSuite) (*ReportTable, error) { return s.Fig7() })
+}
+
+func BenchmarkFig8CreateScalability(b *testing.B) {
+	benchTable(b, "fig8", func(s *ExperimentSuite) (*ReportTable, error) { return s.Fig8() })
+}
+
+func BenchmarkFig9ThroughputScalability(b *testing.B) {
+	benchTable(b, "fig9", func(s *ExperimentSuite) (*ReportTable, error) { return s.Fig9() })
+}
+
+func BenchmarkFig10PollutionScalability(b *testing.B) {
+	benchTable(b, "fig10", func(s *ExperimentSuite) (*ReportTable, error) { return s.Fig10() })
+}
+
+func BenchmarkFig11InjectionScalability(b *testing.B) {
+	benchTable(b, "fig11", func(s *ExperimentSuite) (*ReportTable, error) { return s.Fig11() })
+}
+
+// Component micro-benchmarks: the cost of the simulator itself.
+
+func BenchmarkStandardRunMp3d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Config{
+			Nodes: 16, Protocol: Standard, App: Mp3d(),
+			Scale: 0.002, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECPRunMp3d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Config{
+			Nodes: 16, Protocol: ECP, App: Mp3d(),
+			Scale: 0.002, Seed: 1, CheckpointHz: 400,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFailureRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Config{
+			Nodes: 16, Protocol: ECP, App: Water(),
+			Scale: 0.002, Seed: 1, CheckpointHz: 400,
+			Failures: []Failure{{At: 60_000, Node: 5}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

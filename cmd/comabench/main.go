@@ -1,0 +1,111 @@
+// Command comabench regenerates the paper's evaluation: every table and
+// figure (Tables 1–3, Figures 3–11), printed as aligned text and
+// optionally written as CSV files for plotting.
+//
+//	comabench                      # quick campaign (~minutes)
+//	comabench -params full         # paper-scale budgets and 5-400/s sweep
+//	comabench -only fig3,fig6      # a subset
+//	comabench -csv out/            # also write out/<id>.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"coma"
+)
+
+func main() {
+	var (
+		params  = flag.String("params", "quick", "campaign scale: bench, quick or full")
+		only    = flag.String("only", "", "comma-separated subset: table1..table3, fig3..fig11")
+		csvDir  = flag.String("csv", "", "directory to write <id>.csv files into")
+		nodes   = flag.Int("nodes", 0, "override machine size for the frequency study")
+		seed    = flag.Uint64("seed", 0, "override campaign seed")
+		verbose = flag.Bool("v", false, "print one line per simulation run")
+	)
+	flag.Parse()
+
+	var p coma.ExperimentParams
+	switch *params {
+	case "bench":
+		p = coma.BenchExperiments()
+	case "quick":
+		p = coma.QuickExperiments()
+	case "full":
+		p = coma.FullExperiments()
+	default:
+		fmt.Fprintf(os.Stderr, "comabench: unknown params %q\n", *params)
+		os.Exit(2)
+	}
+	if *nodes > 0 {
+		p.Nodes = *nodes
+	}
+	if *seed > 0 {
+		p.Seed = *seed
+	}
+	if *verbose {
+		p.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	suite := coma.NewExperiments(p)
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[id] = true
+		}
+	}
+
+	type gen struct {
+		id string
+		fn func() (*coma.ReportTable, error)
+	}
+	gens := []gen{
+		{"table1", suite.Table1}, {"table2", suite.Table2}, {"table3", suite.Table3},
+		{"fig3", suite.Fig3}, {"fig4", suite.Fig4}, {"fig5", suite.Fig5},
+		{"fig6", suite.Fig6}, {"fig7", suite.Fig7}, {"fig8", suite.Fig8},
+		{"fig9", suite.Fig9}, {"fig10", suite.Fig10}, {"fig11", suite.Fig11},
+		{"ablation", suite.Ablation},
+	}
+	ran := 0
+	for _, g := range gens {
+		if len(wanted) > 0 && !wanted[g.id] {
+			continue
+		}
+		t, err := g.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comabench: %s: %v\n", g.id, err)
+			os.Exit(1)
+		}
+		if err := t.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, t); err != nil {
+				fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "comabench: nothing selected (check -only)")
+		os.Exit(2)
+	}
+}
+
+func writeCSV(dir string, t *coma.ReportTable) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}

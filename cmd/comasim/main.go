@@ -1,0 +1,142 @@
+// Command comasim runs one simulation of the fault-tolerant COMA and
+// prints its statistics: execution time, checkpoint accounting, miss
+// rates, injections by cause, and network totals.
+//
+// Examples:
+//
+//	comasim -app mp3d -nodes 16 -protocol ecp -hz 100 -scale 0.01
+//	comasim -app barnes -protocol standard -scale 0.01
+//	comasim -app water -protocol ecp -hz 400 -fail 500000:3 -fail 900000:5:perm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"coma"
+	"coma/internal/proto"
+	"coma/internal/report"
+)
+
+type failureFlags []coma.Failure
+
+func (f *failureFlags) String() string { return fmt.Sprintf("%v", []coma.Failure(*f)) }
+
+func (f *failureFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("want cycle:node[:perm], got %q", v)
+	}
+	at, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad cycle in %q: %w", v, err)
+	}
+	node, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad node in %q: %w", v, err)
+	}
+	perm := len(parts) == 3 && parts[2] == "perm"
+	*f = append(*f, coma.Failure{At: at, Node: node, Permanent: perm})
+	return nil
+}
+
+func main() {
+	var (
+		appName  = flag.String("app", "mp3d", "workload: barnes, cholesky, mp3d, water, uniform, private, migratory")
+		nodes    = flag.Int("nodes", 16, "number of processing nodes")
+		protocol = flag.String("protocol", "ecp", "coherence protocol: standard or ecp")
+		hz       = flag.Float64("hz", 100, "recovery points per second (ECP; 0 disables)")
+		scale    = flag.Float64("scale", 0.01, "instruction-budget scale factor (1 = paper size)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		modern   = flag.Bool("modern", false, "use the faster-processor architecture variant")
+		strict   = flag.Bool("strict", false, "per-reference interleaving and oracle checks (slow)")
+		verify   = flag.Bool("invariants", false, "check recovery-data invariants at every commit")
+	)
+	var failures failureFlags
+	flag.Var(&failures, "fail", "inject a failure, cycle:node[:perm]; repeatable")
+	flag.Parse()
+
+	app, ok := coma.AppByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "comasim: unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+	cfg := coma.Config{
+		Nodes:        *nodes,
+		App:          app,
+		Scale:        *scale,
+		Seed:         *seed,
+		Modern:       *modern,
+		Oracle:       true,
+		Strict:       *strict,
+		Invariants:   *verify,
+		Failures:     failures,
+		CheckpointHz: *hz,
+	}
+	switch *protocol {
+	case "standard":
+		cfg.Protocol = coma.Standard
+		cfg.CheckpointHz = 0
+	case "ecp":
+		cfg.Protocol = coma.ECP
+	default:
+		fmt.Fprintf(os.Stderr, "comasim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
+	res, err := coma.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
+		os.Exit(1)
+	}
+	printResult(res)
+}
+
+func printResult(r *coma.Result) {
+	total := r.Total()
+	fmt.Printf("%s on %d nodes, %s protocol\n", r.App, r.Nodes, r.Protocol)
+	fmt.Printf("  execution time      %d cycles (%.1f ms simulated)\n",
+		r.Cycles, 1e3*r.Seconds(r.Cycles))
+	fmt.Printf("  instructions        %d (IPC %.2f)\n", total.Instructions,
+		float64(total.Instructions)/float64(r.Cycles)/float64(r.Nodes))
+	fmt.Printf("  references          %d (%d shared)\n",
+		total.References(), total.SharedReads+total.SharedWrites)
+	fmt.Printf("  cache miss rate     %.2f%% reads, %.2f%% writes\n",
+		pct(r.CacheReadMiss, r.CacheReads), pct(r.CacheWriteMis, r.CacheWrites))
+	fmt.Printf("  AM miss rate        %.2f%% reads, %.2f%% writes\n",
+		100*total.AMReadMissRate(), 100*total.AMWriteMissRate())
+	fmt.Printf("  fills               %d local, %d remote, %d cold\n",
+		total.FillsLocal, total.FillsRemote, total.FillsCold)
+	fmt.Printf("  network             %d messages, %d flits\n", r.NetMessages, r.NetFlits)
+	if r.Ckpt.Established > 0 || r.Ckpt.Recoveries > 0 {
+		fmt.Printf("  recovery points     %d established, %d aborted, %d rollbacks\n",
+			r.Ckpt.Established, r.Ckpt.Aborted, r.Ckpt.Recoveries)
+		fmt.Printf("  T_create            %d cycles (%s of execution)\n",
+			r.Ckpt.CreateCycles, report.FormatPct(r.CreateOverhead()))
+		fmt.Printf("  T_commit            %d cycles (%s of execution)\n",
+			r.Ckpt.CommitCycles, report.FormatPct(r.CommitOverhead()))
+		fmt.Printf("  replication         %d items moved, %d reused, %s per node\n",
+			total.CkptItemsReplicated, total.CkptItemsReused,
+			report.FormatRate(r.PerNodeReplicationThroughput()))
+	}
+	if inj := total.TotalInjections(); inj > 0 {
+		fmt.Printf("  injections          %d total (%.1f per 10k refs)\n",
+			inj, total.Per10KRefs(inj))
+		for c := proto.InjectCause(0); c < proto.NumInjectCauses; c++ {
+			if total.Injections[c] > 0 {
+				fmt.Printf("    %-18s %d\n", c.String(), total.Injections[c])
+			}
+		}
+	}
+	fmt.Printf("  pages allocated     %d frames (peak)\n", r.PagesPeak)
+}
+
+func pct(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

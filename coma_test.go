@@ -1,0 +1,156 @@
+package coma
+
+import (
+	"errors"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{
+		Nodes:        9,
+		Protocol:     ECP,
+		App:          Water(),
+		Scale:        0.0005,
+		CheckpointHz: 400,
+		Seed:         1,
+		Oracle:       true,
+	}
+}
+
+func TestRunECP(t *testing.T) {
+	res, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Protocol != "ecp" {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Nodes = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	cfg = quickCfg()
+	cfg.Protocol = Standard
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("standard protocol with checkpointing accepted")
+	}
+}
+
+func TestCompareDecomposes(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Scale = 0.002
+	cfg.CheckpointInterval = 40_000
+	std, ecp, over, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std.Protocol != "standard" || ecp.Protocol != "ecp" {
+		t.Fatalf("protocols = %s / %s", std.Protocol, ecp.Protocol)
+	}
+	if over.TStandard != std.Cycles || over.TTotal != ecp.Cycles {
+		t.Fatal("decomposition does not match the runs")
+	}
+	if over.TTotal <= over.TStandard {
+		t.Fatal("ECP not slower than standard")
+	}
+	if sum := over.TStandard + over.TCreate + over.TCommit + over.TPollution; sum != over.TTotal {
+		t.Fatalf("decomposition does not add up: %d != %d", sum, over.TTotal)
+	}
+}
+
+func TestFailureRoundTrip(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Nodes = 16
+	cfg.Scale = 0.002
+	cfg.CheckpointInterval = 30_000
+	cfg.Invariants = true
+	// Probe the run length, then fail a node mid-run.
+	probe, err := Run(Config{Nodes: 16, Protocol: Standard, App: cfg.App,
+		Scale: cfg.Scale, Seed: 1, Oracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Failures = []Failure{{At: probe.Cycles / 2, Node: 4, Permanent: true}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ckpt.Recoveries != 1 {
+		t.Fatalf("recoveries = %d", res.Ckpt.Recoveries)
+	}
+}
+
+func TestAppPresets(t *testing.T) {
+	if len(SplashApps()) != 4 {
+		t.Fatal("missing SPLASH presets")
+	}
+	for _, name := range []string{"barnes", "cholesky", "mp3d", "water", "uniform", "private", "migratory"} {
+		if _, ok := AppByName(name); !ok {
+			t.Errorf("preset %q missing", name)
+		}
+	}
+	if _, ok := AppByName("unknown"); ok {
+		t.Error("unknown preset resolved")
+	}
+}
+
+func TestFaultPlanBuilders(t *testing.T) {
+	p := ExponentialFailures(1, 16, 100_000, 1_000_000, 0)
+	if err := p.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	if len(SingleFailure(10, 3, false)) != 1 {
+		t.Fatal("single failure plan")
+	}
+}
+
+func TestAblationOptionsRun(t *testing.T) {
+	cfg := quickCfg()
+	cfg.NoReplicationReuse = true
+	cfg.NoSharedCKReads = true
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModernArchRuns(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Modern = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClockHz != 100_000_000 {
+		t.Fatalf("clock = %d", res.ClockHz)
+	}
+}
+
+func TestDataLossSurfacesTypedError(t *testing.T) {
+	// Killing two adjacent nodes simultaneously eventually destroys a
+	// recovery pair; the typed error must be preserved through the
+	// public API.
+	var lossErr error
+	for pair := 0; pair < 8 && lossErr == nil; pair++ {
+		cfg := quickCfg()
+		cfg.App = MigratoryKernel()
+		cfg.Scale = 0.005
+		cfg.CheckpointInterval = 30_000
+		cfg.Failures = []Failure{
+			{At: 120_000, Node: pair},
+			{At: 120_000, Node: pair + 1},
+		}
+		if _, err := Run(cfg); err != nil {
+			lossErr = err
+		}
+	}
+	if lossErr == nil {
+		t.Skip("no pair hit a recovery pair")
+	}
+	if !errors.Is(lossErr, ErrDataLoss) {
+		t.Fatalf("err = %v", lossErr)
+	}
+}

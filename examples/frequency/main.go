@@ -1,0 +1,69 @@
+// Frequency: sweep the recovery-point establishment frequency for one
+// application and print the paper's Fig. 3 trade-off — frequent recovery
+// points bound the work lost to a failure but cost more time, because
+// more distinct items are modified (and must be replicated) per interval
+// at high frequency, while at low frequency repeated writes to the same
+// item coalesce into one replication.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"coma"
+	"coma/internal/report"
+	"coma/internal/stats"
+)
+
+func main() {
+	app := coma.Cholesky()
+	cfg := coma.Config{
+		Nodes:  16,
+		App:    app,
+		Scale:  0.15,
+		Seed:   3,
+		Oracle: true,
+	}
+
+	std, err := coma.Run(withProtocol(cfg, coma.Standard, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := &report.Table{
+		ID:    "frequency-sweep",
+		Title: fmt.Sprintf("%s: fault-tolerance cost vs recovery-point frequency", app.Name),
+		Note:  fmt.Sprintf("%d nodes, standard-protocol baseline %d cycles", cfg.Nodes, std.Cycles),
+		Columns: []string{"rp/s", "work at risk", "T_create", "T_commit",
+			"T_pollution", "total overhead", "replicated/point"},
+	}
+	for _, hz := range []float64{50, 100, 200, 400} {
+		ecp, err := coma.Run(withProtocol(cfg, coma.ECP, hz))
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := stats.Decompose(std, ecp)
+		total := ecp.Total()
+		perPoint := int64(0)
+		if ecp.Ckpt.Established > 0 {
+			perPoint = (total.CkptItemsReplicated + total.CkptItemsReused) / ecp.Ckpt.Established
+		}
+		t.AddRow(hz,
+			fmt.Sprintf("%.1f ms", 1e3/hz),
+			report.FormatPct(o.CreateFraction()),
+			report.FormatPct(o.CommitFraction()),
+			report.FormatPct(o.PollutionFraction()),
+			report.FormatPct(o.OverheadFraction()),
+			fmt.Sprintf("%d items", perPoint))
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func withProtocol(cfg coma.Config, p coma.Protocol, hz float64) coma.Config {
+	cfg.Protocol = p
+	cfg.CheckpointHz = hz
+	return cfg
+}

@@ -1,0 +1,43 @@
+// Quickstart: run one application under both coherence protocols and
+// print the paper's Fig. 3 style overhead decomposition — what fault
+// tolerance costs on a COMA.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coma"
+)
+
+func main() {
+	cfg := coma.Config{
+		Nodes:        16,          // a 4x4 mesh, as in the paper
+		App:          coma.Mp3d(), // the paper's stress case
+		Scale:        0.05,        // 5% of the full instruction budget
+		CheckpointHz: 100,         // 100 recovery points per second
+		Seed:         42,
+		Oracle:       true, // verify every value end to end
+	}
+
+	std, ecp, over, err := coma.Compare(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mp3d on %d nodes, %d recovery points established\n",
+		cfg.Nodes, ecp.Ckpt.Established)
+	fmt.Printf("  standard protocol: %9d cycles\n", std.Cycles)
+	fmt.Printf("  ECP:               %9d cycles\n", ecp.Cycles)
+	fmt.Printf("  T_create:          %8.1f%%  (creating recovery copies)\n", 100*over.CreateFraction())
+	fmt.Printf("  T_commit:          %8.1f%%  (committing the recovery point)\n", 100*over.CommitFraction())
+	fmt.Printf("  T_pollution:       %8.1f%%  (recovery data disturbing the AMs)\n", 100*over.PollutionFraction())
+	fmt.Printf("  total overhead:    %8.1f%%\n", 100*over.OverheadFraction())
+
+	total := ecp.Total()
+	fmt.Printf("\nrecovery data: %d items replicated, %d reused existing copies (%.0f%% free)\n",
+		total.CkptItemsReplicated, total.CkptItemsReused,
+		100*float64(total.CkptItemsReused)/float64(total.CkptItemsReplicated+total.CkptItemsReused))
+	fmt.Printf("per-node replication throughput: %.1f MB/s\n",
+		ecp.PerNodeReplicationThroughput()/1e6)
+}

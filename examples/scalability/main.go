@@ -1,0 +1,61 @@
+// Scalability: grow the machine from 9 to 56 processors at a fixed
+// recovery-point frequency and confirm the paper's claim that the ECP
+// preserves the architecture's scalability — the create-phase cost stays
+// flat or falls, while the aggregate recovery-data throughput grows with
+// the machine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"coma"
+	"coma/internal/report"
+	"coma/internal/stats"
+)
+
+func main() {
+	app := coma.Mp3d()
+	t := &report.Table{
+		ID:    "scalability",
+		Title: fmt.Sprintf("%s: ECP scalability, 400 recovery points/s", app.Name),
+		Note:  "fixed-size application, growing machine (paper Figs. 8-10)",
+		Columns: []string{"procs", "mesh", "T_create", "T_pollution",
+			"aggregate replication", "per-node"},
+	}
+	for _, nodes := range []int{9, 16, 30, 42, 56} {
+		cfg := coma.Config{
+			Nodes:  nodes,
+			App:    app,
+			Scale:  0.1,
+			Seed:   5,
+			Oracle: true,
+		}
+		stdCfg := cfg
+		stdCfg.Protocol = coma.Standard
+		std, err := coma.Run(stdCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ecpCfg := cfg
+		ecpCfg.Protocol = coma.ECP
+		ecpCfg.CheckpointHz = 400
+		ecp, err := coma.Run(ecpCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := stats.Decompose(std, ecp)
+		arch := coma.KSR1Arch(nodes)
+		w, h := arch.MeshDims()
+		t.AddRow(nodes,
+			fmt.Sprintf("%dx%d", w, h),
+			report.FormatPct(o.CreateFraction()),
+			report.FormatPct(o.PollutionFraction()),
+			report.FormatRate(ecp.ReplicationThroughput()),
+			report.FormatRate(ecp.PerNodeReplicationThroughput()))
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

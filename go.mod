@@ -1,0 +1,3 @@
+module coma
+
+go 1.22

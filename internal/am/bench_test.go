@@ -1,0 +1,33 @@
+package am
+
+import (
+	"testing"
+
+	"coma/internal/config"
+	"coma/internal/proto"
+)
+
+func BenchmarkSlotAccess(b *testing.B) {
+	a := New(config.KSR1(16), 0)
+	a.AllocFrame(0, false, 0)
+	a.Set(5, Slot{State: proto.Exclusive, Value: 9})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Slot(5)
+	}
+}
+
+func BenchmarkModifiedItemsScan(b *testing.B) {
+	arch := config.KSR1(16)
+	a := New(arch, 0)
+	// 64 consecutive pages spread across the sets, one modified item each.
+	for f := 0; f < 64; f++ {
+		a.AllocFrame(proto.PageID(f), false, int64(f))
+		a.Set(arch.FirstItem(proto.PageID(f)), Slot{State: proto.Exclusive})
+	}
+	buf := make([]proto.ItemID, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = a.ModifiedItems(buf[:0])
+	}
+}

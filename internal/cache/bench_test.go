@@ -1,0 +1,26 @@
+package cache
+
+import (
+	"testing"
+
+	"coma/internal/config"
+)
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(config.KSR1(16))
+	c.Fill(0x1000, true, 7, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false, 0, int64(i))
+	}
+}
+
+func BenchmarkFillEvict(b *testing.B) {
+	arch := config.KSR1(16)
+	c := New(arch)
+	stride := uint64(arch.CacheLineSize * arch.CacheSectors * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)*stride, false, 0, int64(i))
+	}
+}

@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coma/internal/config"
+)
+
+func newCache() *Cache { return New(config.KSR1(16)) }
+
+func TestMissThenHit(t *testing.T) {
+	c := newCache()
+	if _, hit := c.Access(0x1000, false, 0, 1); hit {
+		t.Fatal("cold read hit")
+	}
+	c.Fill(0x1000, false, 7, 1)
+	v, hit := c.Access(0x1000, false, 0, 2)
+	if !hit || v != 7 {
+		t.Fatalf("hit=%v v=%d, want hit with 7", hit, v)
+	}
+	st := c.Stats()
+	if st.ReadMisses != 1 || st.ReadHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSectoredFill(t *testing.T) {
+	c := newCache()
+	c.Fill(0x1000, false, 1, 1)
+	// Same sector (2KB), different line: still a miss — sectored caches
+	// validate lines individually.
+	if _, hit := c.Access(0x1040, false, 0, 2); hit {
+		t.Fatal("unfilled line in a present sector hit")
+	}
+	c.Fill(0x1040, false, 2, 2)
+	if _, hit := c.Access(0x1040, false, 0, 3); !hit {
+		t.Fatal("filled line missed")
+	}
+}
+
+func TestWriteRequiresWritable(t *testing.T) {
+	c := newCache()
+	c.Fill(0x2000, false, 5, 1) // read-only fill
+	if _, ok := c.Access(0x2000, true, 9, 2); ok {
+		t.Fatal("write to read-only line succeeded")
+	}
+	st := c.Stats()
+	if st.UpgradeMisses != 1 || st.WriteMisses != 1 {
+		t.Fatalf("stats = %+v, want upgrade miss counted", st)
+	}
+	c.Fill(0x2000, true, 5, 3)
+	if _, ok := c.Access(0x2000, true, 9, 4); !ok {
+		t.Fatal("write to writable line missed")
+	}
+	if v, _ := c.Access(0x2000, false, 0, 5); v != 9 {
+		t.Fatalf("read back %d, want 9", v)
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	arch := config.KSR1(16)
+	c := New(arch)
+	sectorSize := uint64(arch.CacheLineSize * arch.CacheSectors)
+	numSets := uint64(arch.CacheSize/(arch.CacheLineSize*arch.CacheSectors)) / uint64(arch.CacheWays)
+	// Fill ways+1 sectors mapping to set 0; the LRU one must be evicted.
+	stride := sectorSize * numSets
+	for i := 0; i <= arch.CacheWays; i++ {
+		c.Fill(uint64(i)*stride, false, uint64(i), int64(i+1))
+	}
+	if c.Contains(0) {
+		t.Fatal("LRU sector (first filled) survived eviction")
+	}
+	if !c.Contains(stride) {
+		t.Fatal("second sector was wrongly evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestEvictionWritesBackDirtyLines(t *testing.T) {
+	arch := config.KSR1(16)
+	c := New(arch)
+	sectorSize := uint64(arch.CacheLineSize * arch.CacheSectors)
+	numSets := uint64(arch.CacheSize/(arch.CacheLineSize*arch.CacheSectors)) / uint64(arch.CacheWays)
+	stride := sectorSize * numSets
+	c.Fill(0, true, 1, 1)
+	if _, ok := c.Access(0, true, 42, 2); !ok {
+		t.Fatal("write missed")
+	}
+	var wbs []Writeback
+	for i := 1; i <= arch.CacheWays; i++ {
+		wbs = append(wbs, c.Fill(uint64(i)*stride, false, 0, int64(i+10))...)
+	}
+	if len(wbs) != 1 {
+		t.Fatalf("writebacks = %v, want exactly the dirty line", wbs)
+	}
+	if wbs[0].Addr != 0 || wbs[0].Value != 42 {
+		t.Fatalf("writeback = %+v", wbs[0])
+	}
+}
+
+func TestInvalidateItemDropsBothLines(t *testing.T) {
+	c := newCache()
+	// One 128-byte item covers two 64-byte lines.
+	c.Fill(0x4000, false, 1, 1)
+	c.Fill(0x4040, false, 2, 1)
+	if n := c.InvalidateItem(0x4000); n != 2 {
+		t.Fatalf("invalidated %d lines, want 2", n)
+	}
+	if c.Contains(0x4000) || c.Contains(0x4040) {
+		t.Fatal("lines survived invalidation")
+	}
+}
+
+func TestDowngradeKeepsDataReadable(t *testing.T) {
+	c := newCache()
+	c.Fill(0x4000, true, 3, 1)
+	c.Access(0x4000, true, 9, 2)
+	c.DowngradeItem(0x4000)
+	v, hit := c.Access(0x4000, false, 0, 3)
+	if !hit || v != 9 {
+		t.Fatalf("downgraded line read = (%d,%v), want (9,true)", v, hit)
+	}
+	if c.Writable(0x4000) {
+		t.Fatal("downgraded line still writable")
+	}
+	if c.DirtyLines() != 0 {
+		t.Fatal("downgraded line still dirty")
+	}
+}
+
+func TestItemDirtyValue(t *testing.T) {
+	c := newCache()
+	if _, ok := c.ItemDirtyValue(0x4000); ok {
+		t.Fatal("empty cache reported dirty value")
+	}
+	c.Fill(0x4040, true, 3, 1) // second line of item at 0x4000
+	c.Access(0x4040, true, 77, 2)
+	v, ok := c.ItemDirtyValue(0x4000)
+	if !ok || v != 77 {
+		t.Fatalf("dirty value = (%d,%v), want (77,true)", v, ok)
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	c := newCache()
+	c.Fill(0x1000, true, 0, 1)
+	c.Fill(0x2000, true, 0, 1)
+	c.Access(0x1000, true, 11, 2)
+	c.Access(0x2000, true, 22, 2)
+	flushed := map[uint64]uint64{}
+	n := c.FlushDirty(func(addr, v uint64) { flushed[addr] = v })
+	if n != 2 {
+		t.Fatalf("flushed %d lines, want 2", n)
+	}
+	if flushed[0x1000] != 11 || flushed[0x2000] != 22 {
+		t.Fatalf("flushed = %v", flushed)
+	}
+	if c.DirtyLines() != 0 {
+		t.Fatal("dirty lines remain after flush")
+	}
+	// Paper §4.2.3: flushed data stays readable in the cache.
+	if v, hit := c.Access(0x1000, false, 0, 3); !hit || v != 11 {
+		t.Fatalf("flushed line read = (%d,%v)", v, hit)
+	}
+	// But a new write needs a coherence transaction.
+	if _, ok := c.Access(0x1000, true, 33, 4); ok {
+		t.Fatal("write to flushed line succeeded without upgrade")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := newCache()
+	for i := 0; i < 10; i++ {
+		c.Fill(uint64(i)*0x1000, true, uint64(i), int64(i))
+	}
+	c.InvalidateAll()
+	for i := 0; i < 10; i++ {
+		if c.Contains(uint64(i) * 0x1000) {
+			t.Fatalf("line %d survived InvalidateAll", i)
+		}
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := newCache()
+	c.Access(0, false, 0, 1) // miss
+	c.Fill(0, false, 0, 1)
+	c.Access(0, false, 0, 2) // hit
+	c.Access(0, false, 0, 3) // hit
+	c.Access(64, false, 0, 4)
+	got := c.Stats().MissRate()
+	if got != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", got)
+	}
+}
+
+// Property: after Fill(addr), Access(addr) hits and returns the filled
+// value, regardless of the fill history before it.
+func TestFillThenHitProperty(t *testing.T) {
+	arch := config.KSR1(16)
+	f := func(addrs []uint32, final uint32) bool {
+		c := New(arch)
+		now := int64(0)
+		for _, a := range addrs {
+			now++
+			c.Fill(uint64(a)&^63, false, uint64(a), now)
+		}
+		target := uint64(final) &^ 63
+		now++
+		c.Fill(target, false, 12345, now)
+		v, hit := c.Access(target, false, 0, now+1)
+		return hit && v == 12345
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package coherence
+
+import (
+	"testing"
+
+	"coma/internal/proto"
+	"coma/internal/sim"
+)
+
+// TestLocalStateConformance drives the requester's copy of an item into
+// every stable state the protocol defines and checks the outcome of a
+// read and of a write from that state — a systematic transcription of the
+// paper's Fig. 1 state diagram plus Table 1.
+func TestLocalStateConformance(t *testing.T) {
+	const item = proto.ItemID(100)
+	const requester = proto.NodeID(2)
+
+	// Each builder puts the requester's copy into the named initial
+	// state using only protocol operations (never raw state pokes).
+	builders := map[proto.State]func(r *rig, p *sim.Process){
+		proto.Invalid: func(r *rig, p *sim.Process) {
+			r.e.WriteItem(p, 0, item, 7) // master elsewhere; requester has nothing
+		},
+		proto.Shared: func(r *rig, p *sim.Process) {
+			r.e.WriteItem(p, 0, item, 7)
+			r.e.ReadItem(p, requester, item)
+		},
+		proto.MasterShared: func(r *rig, p *sim.Process) {
+			r.e.WriteItem(p, requester, item, 7)
+			r.e.ReadItem(p, 5, item) // downgrades the requester to master
+		},
+		proto.Exclusive: func(r *rig, p *sim.Process) {
+			r.e.WriteItem(p, requester, item, 7)
+		},
+		proto.SharedCK1: func(r *rig, p *sim.Process) {
+			r.e.WriteItem(p, requester, item, 7)
+			r.establish(p)
+		},
+		proto.SharedCK2: func(r *rig, p *sim.Process) {
+			r.e.WriteItem(p, 0, item, 7)
+			r.e.ReadItem(p, requester, item) // the Shared copy is reused as CK2
+			r.establish(p)
+		},
+		proto.InvCK1: func(r *rig, p *sim.Process) {
+			r.e.WriteItem(p, requester, item, 7)
+			r.establish(p)
+			r.e.WriteItem(p, 9, item, 8) // pair downgrades to Inv-CK
+		},
+		proto.InvCK2: func(r *rig, p *sim.Process) {
+			r.e.WriteItem(p, 0, item, 7)
+			r.e.ReadItem(p, requester, item)
+			r.establish(p)
+			r.e.WriteItem(p, 9, item, 8)
+		},
+	}
+
+	type expectation struct {
+		afterRead  proto.State
+		afterWrite proto.State
+		// readInjects/writeInjects: the access must first push the
+		// local recovery copy out (Table 1).
+		readInjects  bool
+		writeInjects bool
+	}
+	expect := map[proto.State]expectation{
+		proto.Invalid:      {proto.Shared, proto.Exclusive, false, false},
+		proto.Shared:       {proto.Shared, proto.Exclusive, false, false},
+		proto.MasterShared: {proto.MasterShared, proto.Exclusive, false, false},
+		proto.Exclusive:    {proto.Exclusive, proto.Exclusive, false, false},
+		proto.SharedCK1:    {proto.SharedCK1, proto.Exclusive, false, true},
+		proto.SharedCK2:    {proto.SharedCK2, proto.Exclusive, false, true},
+		proto.InvCK1:       {proto.Shared, proto.Exclusive, true, true},
+		proto.InvCK2:       {proto.Shared, proto.Exclusive, true, true},
+	}
+
+	for initial, build := range builders {
+		initial, build := initial, build
+		exp := expect[initial]
+
+		// Read conformance.
+		r := newRig(t, 16, ECP, Options{})
+		r.run(func(p *sim.Process) {
+			build(r, p)
+			if st := r.ams[requester].State(item); st != initial {
+				t.Fatalf("builder for %v produced %v", initial, st)
+			}
+			before := r.counters[requester].InjectionsOnReads()
+			r.e.ReadItem(p, requester, item)
+			if st := r.ams[requester].State(item); st != exp.afterRead {
+				t.Errorf("%v + read -> %v, want %v", initial, st, exp.afterRead)
+			}
+			injected := r.counters[requester].InjectionsOnReads() > before
+			if injected != exp.readInjects {
+				t.Errorf("%v + read: injected=%v, want %v", initial, injected, exp.readInjects)
+			}
+		})
+
+		// Write conformance.
+		r = newRig(t, 16, ECP, Options{})
+		r.run(func(p *sim.Process) {
+			build(r, p)
+			before := r.counters[requester].InjectionsOnWrites()
+			r.e.WriteItem(p, requester, item, 99)
+			if st := r.ams[requester].State(item); st != exp.afterWrite {
+				t.Errorf("%v + write -> %v, want %v", initial, st, exp.afterWrite)
+			}
+			if v := r.ams[requester].Slot(item).Value; v != 99 {
+				t.Errorf("%v + write: value %d, want 99", initial, v)
+			}
+			injected := r.counters[requester].InjectionsOnWrites() > before
+			if injected != exp.writeInjects {
+				t.Errorf("%v + write: injected=%v, want %v", initial, injected, exp.writeInjects)
+			}
+		})
+	}
+}
+
+// TestRemoteStateConformance checks the owner-side transitions: what a
+// remote owner's copy becomes when another node reads or writes.
+func TestRemoteStateConformance(t *testing.T) {
+	const item = proto.ItemID(100)
+	const owner = proto.NodeID(0)
+	const requester = proto.NodeID(7)
+
+	cases := []struct {
+		name       string
+		build      func(r *rig, p *sim.Process)
+		initial    proto.State
+		afterRead  proto.State
+		afterWrite proto.State
+	}{
+		{
+			name:       "exclusive owner",
+			build:      func(r *rig, p *sim.Process) { r.e.WriteItem(p, owner, item, 7) },
+			initial:    proto.Exclusive,
+			afterRead:  proto.MasterShared,
+			afterWrite: proto.Invalid,
+		},
+		{
+			name: "master-shared owner",
+			build: func(r *rig, p *sim.Process) {
+				r.e.WriteItem(p, owner, item, 7)
+				r.e.ReadItem(p, 5, item)
+			},
+			initial:    proto.MasterShared,
+			afterRead:  proto.MasterShared,
+			afterWrite: proto.Invalid,
+		},
+		{
+			name: "shared-ck1 owner",
+			build: func(r *rig, p *sim.Process) {
+				r.e.WriteItem(p, owner, item, 7)
+				r.establish(p)
+			},
+			initial:    proto.SharedCK1,
+			afterRead:  proto.SharedCK1, // recovery copies serve misses unchanged
+			afterWrite: proto.InvCK1,    // kept for rollback, not destroyed
+		},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name+"/read", func(t *testing.T) {
+			r := newRig(t, 16, ECP, Options{})
+			r.run(func(p *sim.Process) {
+				c.build(r, p)
+				if st := r.ams[owner].State(item); st != c.initial {
+					t.Fatalf("builder produced %v, want %v", st, c.initial)
+				}
+				if got := r.e.ReadItem(p, requester, item); got != 7 {
+					t.Errorf("served value %d", got)
+				}
+				if st := r.ams[owner].State(item); st != c.afterRead {
+					t.Errorf("owner %v + remote read -> %v, want %v", c.initial, st, c.afterRead)
+				}
+			})
+		})
+		t.Run(c.name+"/write", func(t *testing.T) {
+			r := newRig(t, 16, ECP, Options{})
+			r.run(func(p *sim.Process) {
+				c.build(r, p)
+				r.e.WriteItem(p, requester, item, 9)
+				if st := r.ams[owner].State(item); st != c.afterWrite {
+					t.Errorf("owner %v + remote write -> %v, want %v", c.initial, st, c.afterWrite)
+				}
+				if st := r.ams[requester].State(item); st != proto.Exclusive {
+					t.Errorf("requester state %v", st)
+				}
+			})
+		})
+	}
+}

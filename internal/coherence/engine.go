@@ -1,0 +1,344 @@
+// Package coherence implements the machine-wide cache-coherence protocol
+// engine of the simulated COMA: the standard COMA-F-style write-invalidate
+// protocol (Invalid / Shared / MasterShared / Exclusive, home-based
+// localisation pointers, owner-resident directory entries, injection of
+// master copies on replacement) and the paper's Extended Coherence
+// Protocol, which adds the recovery states and the item-level mechanics of
+// recovery-point establishment, rollback and reconfiguration.
+//
+// Concurrency model: transactions on the same item are serialised by a
+// per-item FIFO lock (the hardware serialises at the owner; the lock
+// models the same order without modelling protocol races — see DESIGN.md
+// §4.2). All simulator state mutations for a transaction happen while its
+// initiator holds the item lock; network messages carry the timing.
+package coherence
+
+import (
+	"fmt"
+
+	"coma/internal/am"
+	"coma/internal/config"
+	"coma/internal/directory"
+	"coma/internal/mesh"
+	"coma/internal/proto"
+	"coma/internal/sim"
+	"coma/internal/stats"
+)
+
+// Protocol selects the coherence protocol variant.
+type Protocol uint8
+
+const (
+	// Standard is the baseline COMA-F-style protocol.
+	Standard Protocol = iota
+	// ECP is the paper's Extended Coherence Protocol with transparent
+	// recovery-data management.
+	ECP
+)
+
+func (p Protocol) String() string {
+	if p == Standard {
+		return "standard"
+	}
+	return "ecp"
+}
+
+// CacheOps lets the protocol engine manipulate the per-node processor
+// caches (implemented by the node layer).
+type CacheOps interface {
+	// InvalidateItem drops the cache lines covering the item on the node.
+	InvalidateItem(n proto.NodeID, item proto.ItemID)
+	// DowngradeItem removes write permission from the cache lines
+	// covering the item on the node, keeping them readable.
+	DowngradeItem(n proto.NodeID, item proto.ItemID)
+}
+
+// Options tunes protocol behaviour for ablation studies.
+type Options struct {
+	// NoReplicationReuse disables the paper's optimisation of turning an
+	// existing Shared copy into the second recovery copy without a data
+	// transfer (§3.3): every replication then moves data.
+	NoReplicationReuse bool
+	// NoSharedCKReads makes Shared-CK copies unreadable by their local
+	// processor (they still answer remote misses, which the protocol
+	// requires), ablating one of the claimed ECP benefits: that recovery
+	// data stays accessible until first modification.
+	NoSharedCKReads bool
+}
+
+// Engine is the protocol engine for one simulated machine.
+type Engine struct {
+	eng      *sim.Engine
+	arch     config.Arch
+	protocol Protocol
+	opts     Options
+	net      *mesh.Network
+	dir      *directory.Directory
+	ams      []*am.AM
+	ctl      []*sim.Resource // AM controllers, capacity arch.AMControllers
+	counters []*stats.Node
+	cacheOps CacheOps
+
+	locks map[proto.ItemID]*itemLock
+	acks  map[proto.ItemID]*ackState
+
+	// pendingInstalls[n][page] counts in-flight misses on node n that
+	// will install into the page's frame when their data arrives; such a
+	// frame must not be replaced meanwhile.
+	pendingInstalls []map[proto.PageID]int
+
+	// pageAnchors records, per touched page, the nodes holding its
+	// irreplaceable frames.
+	pageAnchors map[proto.PageID][]proto.NodeID
+
+	// checkRead, when set, validates every value delivered to a
+	// processor against the machine oracle.
+	checkRead func(n proto.NodeID, item proto.ItemID, value uint64)
+}
+
+// New wires a protocol engine to the machine's parts and registers the
+// per-node message handlers on the mesh.
+func New(eng *sim.Engine, arch config.Arch, protocol Protocol, opts Options,
+	net *mesh.Network, dir *directory.Directory, ams []*am.AM,
+	counters []*stats.Node, cacheOps CacheOps) *Engine {
+
+	e := &Engine{
+		eng:         eng,
+		arch:        arch,
+		protocol:    protocol,
+		opts:        opts,
+		net:         net,
+		dir:         dir,
+		ams:         ams,
+		counters:    counters,
+		cacheOps:    cacheOps,
+		locks:       make(map[proto.ItemID]*itemLock),
+		acks:        make(map[proto.ItemID]*ackState),
+		pageAnchors: make(map[proto.PageID][]proto.NodeID),
+	}
+	e.ctl = make([]*sim.Resource, arch.Nodes)
+	e.pendingInstalls = make([]map[proto.PageID]int, arch.Nodes)
+	for i := range e.ctl {
+		e.ctl[i] = sim.NewResource(fmt.Sprintf("amctl%d", i), arch.AMControllers)
+		e.pendingInstalls[i] = make(map[proto.PageID]int)
+		n := proto.NodeID(i)
+		net.SetHandler(n, func(m mesh.Message) { e.dispatch(n, m) })
+	}
+	return e
+}
+
+// beginInstall reserves a node's page frame against replacement while a
+// miss is in flight; endInstall releases it.
+func (e *Engine) beginInstall(n proto.NodeID, page proto.PageID) {
+	e.pendingInstalls[n][page]++
+}
+
+func (e *Engine) endInstall(n proto.NodeID, page proto.PageID) {
+	m := e.pendingInstalls[n]
+	if m[page] <= 1 {
+		delete(m, page)
+	} else {
+		m[page]--
+	}
+}
+
+// installPending reports whether an in-flight miss will install into the
+// node's frame for the page.
+func (e *Engine) installPending(n proto.NodeID, page proto.PageID) bool {
+	return e.pendingInstalls[n][page] > 0
+}
+
+// Protocol returns the active protocol variant.
+func (e *Engine) Protocol() Protocol { return e.protocol }
+
+// Directory exposes the localisation directory (for core and tests).
+func (e *Engine) Directory() *directory.Directory { return e.dir }
+
+// AM returns a node's attraction memory (for core and tests).
+func (e *Engine) AM(n proto.NodeID) *am.AM { return e.ams[n] }
+
+// SetReadChecker installs the oracle validation hook.
+func (e *Engine) SetReadChecker(fn func(n proto.NodeID, item proto.ItemID, value uint64)) {
+	e.checkRead = fn
+}
+
+// dispatch routes a delivered message to its handler. It runs in event
+// context; handlers needing simulated time spawn processes.
+func (e *Engine) dispatch(n proto.NodeID, m mesh.Message) {
+	switch m.Kind {
+	case proto.MsgReadReq, proto.MsgWriteReq:
+		e.eng.Spawn("home", func(p *sim.Process) { e.homeRequest(p, n, m) })
+	case proto.MsgReadFwd:
+		e.eng.Spawn("owner-read", func(p *sim.Process) { e.ownerRead(p, n, m) })
+	case proto.MsgWriteFwd:
+		e.eng.Spawn("owner-write", func(p *sim.Process) { e.ownerWrite(p, n, m) })
+	case proto.MsgInvalidate:
+		e.eng.Spawn("invalidate", func(p *sim.Process) { e.handleInvalidate(p, n, m) })
+	case proto.MsgInvalidateAck:
+		e.ackArrived(m.Item, 1)
+	case proto.MsgInjectProbe:
+		e.eng.Spawn("inject-probe", func(p *sim.Process) { e.handleInjectProbe(p, n, m) })
+	case proto.MsgInjectData:
+		e.eng.Spawn("inject-data", func(p *sim.Process) { e.handleInjectData(p, n, m) })
+	case proto.MsgPreCommitUpgrade:
+		e.eng.Spawn("precommit-upgrade", func(p *sim.Process) { e.handlePreCommitUpgrade(p, n, m) })
+	case proto.MsgHomeUpdate, proto.MsgPartnerUpdate, proto.MsgPageAlloc:
+		// Timing-only traffic: the simulator state was already updated
+		// under the initiating transaction's item lock (DESIGN.md §4.2).
+	case proto.MsgColdGrant, proto.MsgDataReply, proto.MsgInjectAccept,
+		proto.MsgInjectRefuse, proto.MsgInjectAck, proto.MsgPreCommitUpgradeAck:
+		// Pure responses: the Reply future (completed by the mesh on
+		// delivery) wakes the waiting initiator; nothing else to do.
+	case proto.MsgCkptPrepare, proto.MsgCkptCreateDone, proto.MsgCkptCommit,
+		proto.MsgCkptCommitDone, proto.MsgRecover, proto.MsgRecoverDone:
+		// Checkpoint/recovery control traffic is timing-only here; the
+		// core coordinator drives the phases through direct calls.
+	default:
+		panic(fmt.Sprintf("coherence: node %v cannot handle %v", n, m))
+	}
+}
+
+// itemLock is a FIFO mutex serialising transactions on one item.
+type itemLock struct {
+	held bool
+	q    []*sim.Process
+}
+
+// lockItem acquires the transaction lock for an item, blocking in FIFO
+// order behind the current holder.
+func (e *Engine) lockItem(p *sim.Process, item proto.ItemID) {
+	l := e.locks[item]
+	if l == nil {
+		l = &itemLock{}
+		e.locks[item] = l
+	}
+	if !l.held {
+		l.held = true
+		return
+	}
+	l.q = append(l.q, p)
+	p.Park()
+}
+
+// tryLockItem acquires the lock only if free.
+func (e *Engine) tryLockItem(item proto.ItemID) bool {
+	l := e.locks[item]
+	if l == nil {
+		e.locks[item] = &itemLock{held: true}
+		return true
+	}
+	if l.held {
+		return false
+	}
+	l.held = true
+	return true
+}
+
+// unlockItem releases the lock, handing it to the longest waiter.
+func (e *Engine) unlockItem(item proto.ItemID) {
+	l := e.locks[item]
+	if l == nil || !l.held {
+		panic(fmt.Sprintf("coherence: unlock of free item %d", item))
+	}
+	if len(l.q) > 0 {
+		next := l.q[0]
+		copy(l.q, l.q[1:])
+		l.q = l.q[:len(l.q)-1]
+		e.eng.WakeNow(next)
+		return
+	}
+	delete(e.locks, item)
+}
+
+// LockedItems reports how many items currently have an active or queued
+// transaction (test hook: must be zero at quiesce).
+func (e *Engine) LockedItems() int { return len(e.locks) }
+
+// ackState counts invalidation acknowledgements for one in-flight write
+// transaction.
+type ackState struct {
+	needed   int // -1 until the data grant announces the count
+	received int
+	fut      *sim.Future[int]
+}
+
+// registerAcks prepares ack collection for a write transaction on item.
+func (e *Engine) registerAcks(item proto.ItemID) *sim.Future[int] {
+	if _, dup := e.acks[item]; dup {
+		panic(fmt.Sprintf("coherence: concurrent ack registration for item %d", item))
+	}
+	st := &ackState{needed: -1, fut: sim.NewFuture[int]()}
+	e.acks[item] = st
+	return st.fut
+}
+
+// expectAcks announces how many acknowledgements the transaction must
+// collect; the future completes when they have all arrived.
+func (e *Engine) expectAcks(item proto.ItemID, n int) {
+	st := e.acks[item]
+	if st == nil {
+		panic(fmt.Sprintf("coherence: expectAcks without registration for item %d", item))
+	}
+	st.needed = n
+	if st.received >= st.needed && !st.fut.Done() {
+		st.fut.Complete(e.eng, st.received)
+	}
+}
+
+// ackArrived records an incoming acknowledgement.
+func (e *Engine) ackArrived(item proto.ItemID, n int) {
+	st := e.acks[item]
+	if st == nil {
+		panic(fmt.Sprintf("coherence: stray ack for item %d", item))
+	}
+	st.received += n
+	if st.needed >= 0 && st.received >= st.needed && !st.fut.Done() {
+		st.fut.Complete(e.eng, st.received)
+	}
+}
+
+// finishAcks tears down ack collection after the transaction completes.
+func (e *Engine) finishAcks(item proto.ItemID) {
+	delete(e.acks, item)
+}
+
+// useController charges d cycles of one of the node's AM controllers.
+func (e *Engine) useController(p *sim.Process, n proto.NodeID, d int64) {
+	e.ctl[n].Use(p, d)
+}
+
+// anchorFrames returns the number of irreplaceable frames reserved per
+// touched page: the configured count under the ECP (four in the paper),
+// one under the standard protocol (the KSR1 allocates a single
+// irreplaceable page per page).
+func (e *Engine) anchorFrames() int {
+	if e.protocol == Standard {
+		return 1
+	}
+	return e.arch.AnchorFrames
+}
+
+// readable reports whether a local copy in state st may satisfy a
+// processor read, honouring the NoSharedCKReads ablation.
+func (e *Engine) readable(st proto.State) bool {
+	if !st.Readable() {
+		return false
+	}
+	if e.opts.NoSharedCKReads && (st == proto.SharedCK1 || st == proto.SharedCK2) {
+		return false
+	}
+	return true
+}
+
+// PendingAcks reports in-flight write-transaction ack collections (test
+// and deadlock diagnostics).
+func (e *Engine) PendingAcks() int { return len(e.acks) }
+
+// LockQueueDump describes held item locks for deadlock diagnostics.
+func (e *Engine) LockQueueDump() string {
+	s := ""
+	for item, l := range e.locks {
+		s += fmt.Sprintf("item %d held=%v waiters=%d; ", item, l.held, len(l.q))
+	}
+	return s
+}

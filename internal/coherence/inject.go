@@ -1,0 +1,239 @@
+package coherence
+
+import (
+	"fmt"
+
+	"coma/internal/am"
+	"coma/internal/mesh"
+	"coma/internal/proto"
+	"coma/internal/sim"
+)
+
+// inject moves (replace=true) or copies (replace=false) the node's copy of
+// an item into another attraction memory, using the paper's two-step
+// injection along the logical ring: probe a neighbour for a victim slot,
+// then transfer the item; the receiver acknowledges five cycles after
+// reception. The caller must hold the item lock. It returns the node that
+// accepted the copy.
+//
+// replace=false is the create-phase replication ("similar to item
+// injections, the only difference being that the injected item copy is
+// not replaced in the memory of the node performing the injection").
+func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
+	replace bool, cause proto.InjectCause) proto.NodeID {
+
+	src := e.ams[n].Slot(item)
+	if src.State.Replaceable() {
+		panic(fmt.Sprintf("coherence: injecting item %d from %v in replaceable state %v",
+			item, n, src.State))
+	}
+	injState := src.State
+	if !replace {
+		// Replication for a recovery point: the new copy is the
+		// secondary pre-commit copy.
+		injState = proto.PreCommit2
+		if cause == proto.InjectReconfigure {
+			injState = proto.SharedCK2
+		}
+	}
+
+	c := e.counters[n]
+	c.Injections[cause]++
+	if cause == proto.InjectCheckpoint || cause == proto.InjectReconfigure {
+		c.CkptBytesMoved += int64(e.arch.ItemSize)
+	}
+
+	// Ring walk: first lap accepts only free slots; second lap also
+	// allows dropping a clean victim frame at the target.
+	alive := e.dir.AliveCount()
+	target := proto.None
+	t := e.dir.NextAlive(n)
+	for step := 0; step < 2*alive; step++ {
+		if t == n {
+			t = e.dir.NextAlive(t)
+			continue
+		}
+		lap := int64(0)
+		if step >= alive {
+			lap = 1
+		}
+		c.InjectProbes++
+		fut := sim.NewFuture[mesh.Message]()
+		e.net.Send(mesh.Message{
+			Kind:      proto.MsgInjectProbe,
+			Src:       n,
+			Dst:       t,
+			Item:      item,
+			State:     injState,
+			Value:     src.Value,
+			Arg:       lap,
+			Fresh:     !replace,
+			Requester: n,
+			Token:     fut,
+		})
+		reply := fut.Await(p)
+		if reply.Kind == proto.MsgInjectAccept {
+			target = t
+			break
+		}
+		c.InjectHops++
+		t = e.dir.NextAlive(t)
+	}
+	if target == proto.None {
+		panic(fmt.Sprintf("coherence: injection of item %d from %v found no room after two laps",
+			item, n))
+	}
+
+	// Step two: the data transfer and its acknowledgement. The probe
+	// handler already performed the state installation at the target
+	// (under our item lock); these messages carry the timing.
+	ackFut := sim.NewFuture[mesh.Message]()
+	e.net.Send(mesh.Message{
+		Kind:      proto.MsgInjectData,
+		Src:       n,
+		Dst:       target,
+		Item:      item,
+		State:     injState,
+		Value:     src.Value,
+		Requester: n,
+		Token:     ackFut,
+	})
+	ackFut.Await(p)
+
+	// Recovery-pair partner bookkeeping.
+	if injState.Recovery() {
+		if replace {
+			// The copy moved: its partner must learn the new location.
+			if src.Partner != proto.None && src.Partner != target {
+				e.ams[src.Partner].SetPartner(item, target)
+				e.net.Send(mesh.Message{Kind: proto.MsgPartnerUpdate, Src: n, Dst: src.Partner, Item: item})
+			}
+		} else {
+			// A fresh secondary copy: pair it with the source.
+			e.ams[n].SetPartner(item, target)
+		}
+	}
+
+	// Ownership follows owner-state copies.
+	if injState.Owner() && replace {
+		entry := e.dir.Ensure(item)
+		entry.Owner = target
+		if h := e.dir.Home(item); h != n && h != target {
+			e.net.Send(mesh.Message{Kind: proto.MsgHomeUpdate, Src: n, Dst: h, Item: item})
+		}
+	}
+
+	if replace {
+		e.ams[n].SetState(item, proto.Invalid)
+		e.cacheOps.InvalidateItem(n, item)
+	}
+	return target
+}
+
+// handleInjectProbe decides whether this node can accept an injected copy
+// and, if so, installs it immediately (the initiator holds the item lock,
+// so the early installation is invisible to other transactions; the data
+// message that follows carries the transfer timing).
+func (e *Engine) handleInjectProbe(p *sim.Process, n proto.NodeID, m mesh.Message) {
+	e.useController(p, n, e.arch.DirLookup)
+	kind := proto.MsgInjectRefuse
+	if e.tryAcceptInjection(p, n, m) {
+		kind = proto.MsgInjectAccept
+	}
+	e.net.Send(mesh.Message{
+		Kind:  kind,
+		Src:   n,
+		Dst:   m.Requester,
+		Item:  m.Item,
+		Reply: m.Token,
+	})
+}
+
+// tryAcceptInjection applies the paper's acceptance rule: a node may
+// replace one of its Invalid or Shared slots for the item. A frame is
+// used if present; otherwise a free way is allocated; on the second ring
+// lap a fully replaceable victim frame may be dropped to make room.
+func (e *Engine) tryAcceptInjection(p *sim.Process, n proto.NodeID, m mesh.Message) bool {
+	item := m.Item
+	page := e.arch.PageOf(item)
+	amn := e.ams[n]
+	switch {
+	case amn.HasFrame(page):
+		if amn.Evicting(page) {
+			return false // the frame is being replaced right now
+		}
+		if !amn.State(item).Replaceable() {
+			return false // the slot holds a master or recovery copy
+		}
+	case amn.FreeWay(page):
+		amn.AllocFrame(page, false, p.Now())
+	case m.Arg >= 1: // second lap: drop a clean, idle frame if one exists
+		victim := proto.NoPage
+		for _, cand := range amn.VictimPages(page) {
+			if len(amn.PinnedItems(cand)) == 0 && !e.installPending(n, cand) {
+				victim = cand
+				break
+			}
+		}
+		if victim == proto.NoPage {
+			return false
+		}
+		e.dropCleanFrame(n, victim)
+		amn.AllocFrame(page, false, p.Now())
+	default:
+		return false
+	}
+
+	// If we held a Shared copy it is being overwritten: leave the
+	// sharing set.
+	if amn.State(item) == proto.Shared {
+		if entry := e.dir.Lookup(item); entry != nil {
+			entry.Sharers.Remove(n)
+		}
+		e.cacheOps.InvalidateItem(n, item)
+	}
+
+	partner := proto.None
+	if m.State.Recovery() {
+		if m.Fresh {
+			partner = m.Requester // a fresh secondary pairs with the source
+		} else {
+			partner = e.ams[m.Requester].Slot(item).Partner // a moving copy keeps its partner
+		}
+	}
+	amn.Set(item, am.Slot{State: m.State, Value: m.Value, Partner: partner})
+	return true
+}
+
+// dropCleanFrame silently drops a frame whose items are all Invalid or
+// Shared, maintaining sharer sets.
+func (e *Engine) dropCleanFrame(n proto.NodeID, page proto.PageID) {
+	first := e.arch.FirstItem(page)
+	for i := 0; i < e.arch.ItemsPerPage(); i++ {
+		it := first + proto.ItemID(i)
+		if e.ams[n].State(it) == proto.Shared {
+			if entry := e.dir.Lookup(it); entry != nil {
+				entry.Sharers.Remove(n)
+			}
+			e.ams[n].SetState(it, proto.Invalid)
+			e.cacheOps.InvalidateItem(n, it)
+		}
+	}
+	e.ams[n].DropFrame(page)
+}
+
+// handleInjectData models the receive-side timing of the injection data
+// transfer: the acknowledgement goes out InjectAckDelay cycles after the
+// item arrives, and the copy into memory happens after the ack (paper
+// §4.2.2). The state was installed at probe time.
+func (e *Engine) handleInjectData(p *sim.Process, n proto.NodeID, m mesh.Message) {
+	p.Wait(e.arch.InjectAckDelay)
+	e.net.Send(mesh.Message{
+		Kind:  proto.MsgInjectAck,
+		Src:   n,
+		Dst:   m.Requester,
+		Item:  m.Item,
+		Reply: m.Token,
+	})
+	e.useController(p, n, e.arch.MemTransfer)
+}

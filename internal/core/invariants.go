@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"coma/internal/am"
+	"coma/internal/coherence"
+	"coma/internal/proto"
+)
+
+// copySet describes every copy of one item across the machine.
+type copySet struct {
+	owners  []proto.NodeID // Exclusive / MasterShared / SharedCK1 / PreCommit1
+	shared  []proto.NodeID
+	ck      map[proto.State][]proto.NodeID
+	current int // Shared + MasterShared + Exclusive
+	excl    int
+}
+
+// CheckInvariants validates the recovery-data and coherence invariants at
+// a quiesced point (no transaction in flight):
+//
+//   - at most one owner-state copy per item, matching the directory;
+//   - Exclusive implies no other current copy;
+//   - every sharer recorded in the directory holds a Shared copy and
+//     vice versa;
+//   - recovery pairs are complete: CK1 and CK2 (of the same flavour) on
+//     two distinct live nodes with mutual partner pointers;
+//   - no transient Pre-Commit copies outside an establishment.
+//
+// It returns the first violation found, or nil.
+func CheckInvariants(coh *coherence.Engine) error {
+	dir := coh.Directory()
+	items := make(map[proto.ItemID]*copySet)
+	get := func(it proto.ItemID) *copySet {
+		cs := items[it]
+		if cs == nil {
+			cs = &copySet{ck: make(map[proto.State][]proto.NodeID)}
+			items[it] = cs
+		}
+		return cs
+	}
+
+	for _, n := range dir.AliveNodes() {
+		a := coh.AM(n)
+		a.ForEachAllocated(func(it proto.ItemID, s *slotView) {
+			cs := get(it)
+			switch s.State {
+			case proto.Invalid:
+			case proto.Shared:
+				cs.shared = append(cs.shared, n)
+				cs.current++
+			case proto.MasterShared:
+				cs.owners = append(cs.owners, n)
+				cs.current++
+			case proto.Exclusive:
+				cs.owners = append(cs.owners, n)
+				cs.current++
+				cs.excl++
+			case proto.SharedCK1, proto.InvCK1, proto.PreCommit1:
+				cs.owners = appendIfOwner(cs.owners, n, s.State)
+				cs.ck[s.State] = append(cs.ck[s.State], n)
+			case proto.SharedCK2, proto.InvCK2, proto.PreCommit2:
+				cs.ck[s.State] = append(cs.ck[s.State], n)
+			}
+		})
+	}
+
+	for it, cs := range items {
+		if len(cs.owners) > 1 {
+			return fmt.Errorf("item %d has %d owner copies on %v", it, len(cs.owners), cs.owners)
+		}
+		if cs.excl > 0 && cs.current > 1 {
+			return fmt.Errorf("item %d is Exclusive but has %d current copies", it, cs.current)
+		}
+		for _, pairState := range []proto.State{proto.SharedCK1, proto.InvCK1, proto.PreCommit1} {
+			ones := cs.ck[pairState]
+			twos := cs.ck[pairState.Partner()]
+			if len(ones) > 1 || len(twos) > 1 {
+				return fmt.Errorf("item %d has duplicated recovery copies: %d x %v, %d x %v",
+					it, len(ones), pairState, len(twos), pairState.Partner())
+			}
+			if len(ones) != len(twos) {
+				return fmt.Errorf("item %d has a broken recovery pair: %v on %v, %v on %v",
+					it, pairState, ones, pairState.Partner(), twos)
+			}
+			if len(ones) == 1 {
+				n1, n2 := ones[0], twos[0]
+				if n1 == n2 {
+					return fmt.Errorf("item %d has both recovery copies on node %v", it, n1)
+				}
+				if p := coh.AM(n1).Slot(it).Partner; p != n2 {
+					return fmt.Errorf("item %d: %v partner pointer %v, want %v", it, pairState, p, n2)
+				}
+				if p := coh.AM(n2).Slot(it).Partner; p != n1 {
+					return fmt.Errorf("item %d: %v partner pointer %v, want %v",
+						it, pairState.Partner(), p, n1)
+				}
+			}
+		}
+		// A committed pair must not coexist with another committed pair
+		// of a different flavour (an item is either modified or not).
+		if len(cs.ck[proto.SharedCK1]) > 0 && len(cs.ck[proto.InvCK1]) > 0 {
+			return fmt.Errorf("item %d has both Shared-CK and Inv-CK pairs", it)
+		}
+
+		entry := dir.Lookup(it)
+		if len(cs.owners) == 1 {
+			if entry == nil {
+				return fmt.Errorf("item %d has owner %v but no directory entry", it, cs.owners[0])
+			}
+			if entry.Owner != cs.owners[0] {
+				return fmt.Errorf("item %d: directory owner %v, actual %v", it, entry.Owner, cs.owners[0])
+			}
+		}
+		if entry != nil {
+			for _, s := range cs.shared {
+				if !entry.Sharers.Contains(s) {
+					return fmt.Errorf("item %d: node %v holds Shared but is not in the sharing set", it, s)
+				}
+			}
+			count := 0
+			entry.Sharers.ForEach(func(s proto.NodeID) {
+				count++
+				found := false
+				for _, h := range cs.shared {
+					if h == s {
+						found = true
+					}
+				}
+				if !found {
+					// Report via count mismatch below (ForEach cannot
+					// return an error).
+					count += 1 << 20
+				}
+			})
+			if count != len(cs.shared) {
+				return fmt.Errorf("item %d: sharing set does not match Shared copies", it)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckQuiescent additionally requires that no Pre-Commit copies exist
+// (outside an establishment) and that the recovery point is complete:
+// every checkpointed item has exactly one committed pair.
+func CheckQuiescent(coh *coherence.Engine) error {
+	if err := CheckInvariants(coh); err != nil {
+		return err
+	}
+	dir := coh.Directory()
+	for _, n := range dir.AliveNodes() {
+		var found error
+		coh.AM(n).ForEachAllocated(func(it proto.ItemID, s *slotView) {
+			if found == nil && (s.State == proto.PreCommit1 || s.State == proto.PreCommit2) {
+				found = fmt.Errorf("item %d has a %v copy outside an establishment on node %v",
+					it, s.State, n)
+			}
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+func appendIfOwner(owners []proto.NodeID, n proto.NodeID, st proto.State) []proto.NodeID {
+	if st.Owner() {
+		return append(owners, n)
+	}
+	return owners
+}
+
+// slotView aliases the AM slot type for scan callbacks.
+type slotView = am.Slot

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coma/internal/coherence"
+	"coma/internal/config"
+	"coma/internal/machine"
+	"coma/internal/report"
+	"coma/internal/stats"
+	"coma/internal/workload"
+)
+
+// Ablation quantifies the design choices the paper calls out, beyond its
+// own figures:
+//
+//   - replication reuse (§3.3): turning an existing Shared copy into the
+//     second recovery copy instead of moving data;
+//   - readable Shared-CK copies (§3.1): recovery data stays accessible
+//     until the first modification;
+//   - the faster-processor architecture of the paper's reference [10],
+//     where relative degradation is reported to decrease.
+//
+// Each row is the total ECP overhead against the matching
+// standard-protocol baseline.
+func (s *Suite) Ablation() (*report.Table, error) {
+	hz := s.P.Freqs[len(s.P.Freqs)-1]
+	t := &report.Table{
+		ID:    "ablation",
+		Title: "Design-choice ablation: total ECP overhead",
+		Note: fmt.Sprintf("%d nodes, %g recovery points/s; 'modern' is the 5x-faster-processor variant",
+			s.P.Nodes, hz),
+		Columns: []string{"application", "full ECP", "no replication reuse",
+			"no Shared-CK reads", "modern arch"},
+	}
+	for _, app := range s.P.Apps {
+		std, err := s.std(app, s.P.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		overhead := func(opts coherence.Options) (string, error) {
+			ecp, err := s.Run(app, s.P.Nodes, hz, coherence.ECP, opts)
+			if err != nil {
+				return "", err
+			}
+			return report.FormatPct(stats.Decompose(std, ecp).OverheadFraction()), nil
+		}
+		full, err := overhead(coherence.Options{})
+		if err != nil {
+			return nil, err
+		}
+		noReuse, err := overhead(coherence.Options{NoReplicationReuse: true})
+		if err != nil {
+			return nil, err
+		}
+		noCKReads, err := overhead(coherence.Options{NoSharedCKReads: true})
+		if err != nil {
+			return nil, err
+		}
+		modern, err := s.modernOverhead(app, hz)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(app.Name, full, noReuse, noCKReads, modern)
+	}
+	return t, nil
+}
+
+// modernOverhead runs the std/ECP pair on the faster-processor preset.
+func (s *Suite) modernOverhead(app workload.Spec, hz float64) (string, error) {
+	run := func(protocol coherence.Protocol, hz float64) (*stats.Run, error) {
+		cfg := machine.Config{
+			Arch:         config.Modern(s.P.Nodes),
+			Protocol:     protocol,
+			App:          s.P.scaled(app),
+			Seed:         s.P.Seed,
+			CheckpointHz: hz,
+			Oracle:       true,
+			MaxCycles:    1 << 40,
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.Run()
+	}
+	std, err := run(coherence.Standard, 0)
+	if err != nil {
+		return "", fmt.Errorf("experiments: modern %s: %w", app.Name, err)
+	}
+	ecp, err := run(coherence.ECP, hz)
+	if err != nil {
+		return "", fmt.Errorf("experiments: modern %s: %w", app.Name, err)
+	}
+	return report.FormatPct(stats.Decompose(std, ecp).OverheadFraction()), nil
+}

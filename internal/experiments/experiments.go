@@ -1,0 +1,164 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4.2): the read-miss latency calibration (Table 2), the
+// application characteristics (Table 3), the injection taxonomy
+// (Table 1), the time-overhead decomposition against recovery-point
+// frequency (Fig. 3) with replication throughput (Fig. 4), miss rates
+// (Fig. 5) and injection counts (Fig. 6), the memory overhead (Fig. 7),
+// and the processor-count scalability study (Figs. 8–11).
+//
+// Runs are memoised: the figures of one sweep share their underlying
+// simulations. Absolute instruction counts are scaled by the parameter
+// set (Quick/Bench/Full) — the paper's full SPLASH budgets are minutes of
+// simulation per run; the scaled runs preserve the shapes (see
+// EXPERIMENTS.md for measured-vs-paper values).
+package experiments
+
+import (
+	"fmt"
+
+	"coma/internal/coherence"
+	"coma/internal/config"
+	"coma/internal/machine"
+	"coma/internal/stats"
+	"coma/internal/workload"
+)
+
+// Params scopes an experiment campaign.
+type Params struct {
+	// TargetInstructions rescales every application to about this many
+	// total instructions (0 keeps the paper's full budgets).
+	TargetInstructions int64
+	// Nodes is the machine size for the frequency study (16, as in the
+	// paper's Fig. 3–7 runs on a 4x4 mesh).
+	Nodes int
+	// Freqs are the recovery-point frequencies (per second) of the
+	// frequency study. The paper sweeps 5–400.
+	Freqs []float64
+	// NodeSweep are the machine sizes of the scalability study
+	// (9–56 in the paper).
+	NodeSweep []int
+	// SweepHz is the fixed frequency of the scalability study (100).
+	SweepHz float64
+	// Seed makes the campaign deterministic.
+	Seed uint64
+	// Apps are the workloads (the four Table 3 applications).
+	Apps []workload.Spec
+	// Progress, when non-nil, receives one line per simulation run.
+	Progress func(msg string)
+}
+
+// Quick returns a laptop-scale campaign: runs long enough that even the
+// lowest frequency establishes several recovery points, at roughly a
+// tenth of the paper's instruction budgets.
+func Quick() Params {
+	return Params{
+		TargetInstructions: 16_000_000,
+		Nodes:              16,
+		Freqs:              []float64{50, 100, 400},
+		NodeSweep:          []int{9, 16, 30, 42, 56},
+		SweepHz:            100,
+		Seed:               1,
+		Apps:               workload.Splash(),
+	}
+}
+
+// Bench returns a very small campaign for the Go benchmark harness.
+func Bench() Params {
+	return Params{
+		TargetInstructions: 1_600_000,
+		Nodes:              16,
+		Freqs:              []float64{200, 400},
+		NodeSweep:          []int{9, 16, 30},
+		SweepHz:            400,
+		Seed:               1,
+		Apps:               workload.Splash(),
+	}
+}
+
+// Full returns the paper-scale campaign: full instruction budgets and the
+// complete 5–400 frequency sweep. Expect minutes per simulation.
+func Full() Params {
+	return Params{
+		TargetInstructions: 0,
+		Nodes:              16,
+		Freqs:              []float64{5, 25, 100, 400},
+		NodeSweep:          []int{9, 16, 30, 42, 56},
+		SweepHz:            100,
+		Seed:               1,
+		Apps:               workload.Splash(),
+	}
+}
+
+// scaled rescales an application to the campaign's budget.
+func (p Params) scaled(app workload.Spec) workload.Spec {
+	if p.TargetInstructions <= 0 {
+		return app
+	}
+	return app.Scale(float64(p.TargetInstructions) / float64(app.Instructions))
+}
+
+type runKey struct {
+	app      string
+	nodes    int
+	hzMilli  int64
+	protocol coherence.Protocol
+	opts     coherence.Options
+}
+
+// Suite memoises simulation runs across the experiment functions.
+type Suite struct {
+	P     Params
+	cache map[runKey]*stats.Run
+}
+
+// NewSuite builds a suite for the parameters.
+func NewSuite(p Params) *Suite {
+	if p.Nodes == 0 {
+		p = Quick()
+	}
+	return &Suite{P: p, cache: make(map[runKey]*stats.Run)}
+}
+
+// Run simulates (or returns the memoised result of) one configuration.
+func (s *Suite) Run(app workload.Spec, nodes int, hz float64,
+	protocol coherence.Protocol, opts coherence.Options) (*stats.Run, error) {
+
+	key := runKey{app.Name, nodes, int64(hz * 1000), protocol, opts}
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	if s.P.Progress != nil {
+		s.P.Progress(fmt.Sprintf("running %s on %d nodes, %s, %g recovery points/s",
+			app.Name, nodes, protocol, hz))
+	}
+	cfg := machine.Config{
+		Arch:         config.KSR1(nodes),
+		Protocol:     protocol,
+		Opts:         opts,
+		App:          s.P.scaled(app),
+		Seed:         s.P.Seed,
+		CheckpointHz: hz,
+		Oracle:       true,
+		MaxCycles:    1 << 40,
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%d/%s: %w", app.Name, nodes, protocol, err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%d/%s: %w", app.Name, nodes, protocol, err)
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// std returns the standard-protocol baseline for an app and size.
+func (s *Suite) std(app workload.Spec, nodes int) (*stats.Run, error) {
+	return s.Run(app, nodes, 0, coherence.Standard, coherence.Options{})
+}
+
+// ecp returns an ECP run at a frequency.
+func (s *Suite) ecp(app workload.Spec, nodes int, hz float64) (*stats.Run, error) {
+	return s.Run(app, nodes, hz, coherence.ECP, coherence.Options{})
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"coma/internal/coherence"
+	"coma/internal/workload"
+)
+
+// tiny returns a very small campaign so the whole suite runs in seconds.
+func tiny() Params {
+	p := Bench()
+	p.TargetInstructions = 300_000
+	p.Freqs = []float64{400}
+	p.NodeSweep = []int{9, 16}
+	p.SweepHz = 400
+	return p
+}
+
+func TestTable2MatchesPaperExactly(t *testing.T) {
+	s := NewSuite(tiny())
+	tb, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "18", "116", "124"}
+	if len(tb.Rows) != len(want) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		if row[1] != want[i] {
+			t.Errorf("row %d: measured %s, want paper's %s", i, row[1], want[i])
+		}
+	}
+}
+
+func TestTable3WithinTolerance(t *testing.T) {
+	s := NewSuite(tiny())
+	tb, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Cells are "measured% (paper%)"; they must agree within 1.5 points.
+	for _, row := range tb.Rows {
+		for _, cell := range row[2:] {
+			parts := strings.SplitN(cell, "% (", 2)
+			if len(parts) != 2 {
+				t.Fatalf("cell format: %q", cell)
+			}
+			got, err1 := strconv.ParseFloat(parts[0], 64)
+			want, err2 := strconv.ParseFloat(strings.TrimSuffix(parts[1], "%)"), 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("cell parse: %q", cell)
+			}
+			if diff := got - want; diff > 1.5 || diff < -1.5 {
+				t.Errorf("%s: measured %.1f%%, paper %.1f%%", row[0], got, want)
+			}
+		}
+	}
+}
+
+func TestSuiteMemoisesRuns(t *testing.T) {
+	s := NewSuite(tiny())
+	app := workload.Water()
+	a, err := s.Run(app, 9, 400, coherence.ECP, coherence.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(app, 9, 400, coherence.ECP, coherence.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical configuration re-simulated")
+	}
+	c, err := s.Run(app, 9, 400, coherence.ECP, coherence.Options{NoReplicationReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different options shared a cached run")
+	}
+}
+
+func TestFig3RowsAndDirection(t *testing.T) {
+	p := tiny()
+	p.Apps = []workload.Spec{workload.Water()}
+	p.Freqs = []float64{200, 400}
+	p.TargetInstructions = 1_500_000
+	s := NewSuite(p)
+	tb, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Total overhead must grow with frequency.
+	low := parsePct(t, tb.Rows[0][5])
+	high := parsePct(t, tb.Rows[1][5])
+	if high <= low {
+		t.Errorf("overhead at 400/s (%v) not above 200/s (%v)", high, low)
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("percentage %q", s)
+	}
+	return v
+}
+
+func TestAllProducesEveryTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	p := tiny()
+	p.Apps = []workload.Spec{workload.Water(), workload.Mp3d()}
+	s := NewSuite(p)
+	tables, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation"}
+	if len(tables) != len(wantIDs) {
+		t.Fatalf("tables = %d, want %d", len(tables), len(wantIDs))
+	}
+	for i, tb := range tables {
+		if tb.ID != wantIDs[i] {
+			t.Errorf("table %d id = %s, want %s", i, tb.ID, wantIDs[i])
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("table %s is empty", tb.ID)
+		}
+		if len(tb.Columns) == 0 {
+			t.Errorf("table %s has no columns", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Columns) {
+				t.Errorf("table %s: row width %d vs %d columns", tb.ID, len(row), len(tb.Columns))
+			}
+		}
+	}
+}

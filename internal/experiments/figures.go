@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coma/internal/report"
+	"coma/internal/stats"
+)
+
+// Fig3 reproduces the time-overhead decomposition: for each application
+// and recovery-point frequency, T_create, T_commit and T_pollution as
+// fractions of the standard-protocol execution time.
+func (s *Suite) Fig3() (*report.Table, error) {
+	t := &report.Table{
+		ID:    "fig3",
+		Title: "Time overhead vs recovery-point frequency",
+		Note: fmt.Sprintf("%d nodes; overheads relative to the standard protocol; "+
+			"paper: 5%% best case to 35%% worst case", s.P.Nodes),
+		Columns: []string{"application", "rp/s", "T_create", "T_commit",
+			"T_pollution", "total overhead"},
+	}
+	for _, app := range s.P.Apps {
+		std, err := s.std(app, s.P.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		for _, hz := range s.P.Freqs {
+			ecp, err := s.ecp(app, s.P.Nodes, hz)
+			if err != nil {
+				return nil, err
+			}
+			o := stats.Decompose(std, ecp)
+			t.AddRow(app.Name, hz,
+				report.FormatPct(o.CreateFraction()),
+				report.FormatPct(o.CommitFraction()),
+				report.FormatPct(o.PollutionFraction()),
+				report.FormatPct(o.OverheadFraction()))
+		}
+	}
+	return t, nil
+}
+
+// Fig4 reproduces the per-node replication throughput during
+// recovery-point establishment (the paper reports ~20 MB/s per node,
+// rising to ~30 MB/s when existing replication is reused).
+func (s *Suite) Fig4() (*report.Table, error) {
+	t := &report.Table{
+		ID:      "fig4",
+		Title:   "Per-node replication throughput during establishment",
+		Note:    fmt.Sprintf("%d nodes; paper: ~20 MB/s per node", s.P.Nodes),
+		Columns: []string{"application", "rp/s", "per-node throughput", "reuse fraction"},
+	}
+	for _, app := range s.P.Apps {
+		for _, hz := range s.P.Freqs {
+			ecp, err := s.ecp(app, s.P.Nodes, hz)
+			if err != nil {
+				return nil, err
+			}
+			total := ecp.Total()
+			reuse := 0.0
+			if n := total.CkptItemsReplicated + total.CkptItemsReused; n > 0 {
+				reuse = float64(total.CkptItemsReused) / float64(n)
+			}
+			t.AddRow(app.Name, hz,
+				report.FormatRate(ecp.PerNodeReplicationThroughput()),
+				report.FormatPct(reuse))
+		}
+	}
+	return t, nil
+}
+
+// Fig5 reproduces the attraction-memory miss rates against frequency:
+// the ECP's key property is that they barely move because unmodified
+// recovery data stays readable.
+func (s *Suite) Fig5() (*report.Table, error) {
+	t := &report.Table{
+		ID:      "fig5",
+		Title:   "Node AM miss rate vs recovery-point frequency",
+		Note:    fmt.Sprintf("%d nodes; paper: negligible variation at any frequency", s.P.Nodes),
+		Columns: []string{"application", "rp/s", "read miss rate", "write miss rate", "Shared-CK read share"},
+	}
+	for _, app := range s.P.Apps {
+		std, err := s.std(app, s.P.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		stotal := std.Total()
+		t.AddRow(app.Name, "std",
+			report.FormatPct(stotal.AMReadMissRate()),
+			report.FormatPct(stotal.AMWriteMissRate()), "-")
+		for _, hz := range s.P.Freqs {
+			ecp, err := s.ecp(app, s.P.Nodes, hz)
+			if err != nil {
+				return nil, err
+			}
+			total := ecp.Total()
+			ckShare := 0.0
+			if total.AMReads > 0 {
+				ckShare = float64(total.SharedCKReads) / float64(total.AMReads)
+			}
+			t.AddRow(app.Name, hz,
+				report.FormatPct(total.AMReadMissRate()),
+				report.FormatPct(total.AMWriteMissRate()),
+				report.FormatPct(ckShare))
+		}
+	}
+	return t, nil
+}
+
+// Fig6 reproduces the injection counts per 10 000 memory references,
+// split into read-triggered and write-triggered causes (the paper finds
+// write accesses on Shared-CK copies dominate and grow with frequency,
+// while read-triggered injections stay flat).
+func (s *Suite) Fig6() (*report.Table, error) {
+	t := &report.Table{
+		ID:      "fig6",
+		Title:   "Injections per node per 10000 references vs frequency",
+		Note:    fmt.Sprintf("%d nodes; paper: at most ~25 total, write-dominated", s.P.Nodes),
+		Columns: []string{"application", "rp/s", "on reads", "on writes", "write share"},
+	}
+	for _, app := range s.P.Apps {
+		for _, hz := range s.P.Freqs {
+			ecp, err := s.ecp(app, s.P.Nodes, hz)
+			if err != nil {
+				return nil, err
+			}
+			total := ecp.Total()
+			onR := total.Per10KRefs(total.InjectionsOnReads())
+			onW := total.Per10KRefs(total.InjectionsOnWrites())
+			share := 0.0
+			if onR+onW > 0 {
+				share = onW / (onR + onW)
+			}
+			t.AddRow(app.Name, hz, onR, onW, report.FormatPct(share))
+		}
+	}
+	return t, nil
+}
+
+// Fig7 reproduces the memory overhead: page frames allocated by the ECP
+// architecture versus the standard one (the paper measures 1.1x–2.6x).
+func (s *Suite) Fig7() (*report.Table, error) {
+	t := &report.Table{
+		ID:      "fig7",
+		Title:   "Page allocation: ECP vs standard protocol",
+		Note:    fmt.Sprintf("%d nodes, highest frequency; paper: overhead 1.1x to 2.6x", s.P.Nodes),
+		Columns: []string{"application", "std pages", "ecp pages", "overhead"},
+	}
+	hz := s.P.Freqs[len(s.P.Freqs)-1]
+	for _, app := range s.P.Apps {
+		std, err := s.std(app, s.P.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		ecp, err := s.ecp(app, s.P.Nodes, hz)
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(ecp.PagesPeak) / float64(std.PagesPeak)
+		t.AddRow(app.Name, std.PagesPeak, ecp.PagesPeak, fmt.Sprintf("%.2fx", ratio))
+	}
+	return t, nil
+}
+
+// Fig8 reproduces the create-phase scalability: T_create as a fraction of
+// standard execution time while the machine grows (the paper finds it
+// constant or decreasing).
+func (s *Suite) Fig8() (*report.Table, error) {
+	t := &report.Table{
+		ID:      "fig8",
+		Title:   "Create-phase cost vs processor count",
+		Note:    fmt.Sprintf("%g recovery points/s; paper: flat or decreasing", s.P.SweepHz),
+		Columns: append([]string{"application"}, nodeCols(s.P.NodeSweep)...),
+	}
+	return s.sweepTable(t, func(std, ecp *stats.Run) string {
+		return report.FormatPct(stats.Decompose(std, ecp).CreateFraction())
+	})
+}
+
+// Fig9 reproduces the aggregate replication throughput scalability (the
+// paper: 211 MB/s at 9 processors to 1.1 GB/s at 56 for Cholesky).
+func (s *Suite) Fig9() (*report.Table, error) {
+	t := &report.Table{
+		ID:      "fig9",
+		Title:   "Aggregate recovery-data throughput vs processor count",
+		Note:    fmt.Sprintf("%g recovery points/s; paper: near-linear growth", s.P.SweepHz),
+		Columns: append([]string{"application"}, nodeCols(s.P.NodeSweep)...),
+	}
+	return s.sweepTable(t, func(std, ecp *stats.Run) string {
+		return report.FormatRate(ecp.ReplicationThroughput())
+	})
+}
+
+// Fig10 reproduces the pollution-effect scalability (flat or decreasing
+// in the paper).
+func (s *Suite) Fig10() (*report.Table, error) {
+	t := &report.Table{
+		ID:      "fig10",
+		Title:   "Pollution effect vs processor count",
+		Note:    fmt.Sprintf("%g recovery points/s; paper: flat or decreasing", s.P.SweepHz),
+		Columns: append([]string{"application"}, nodeCols(s.P.NodeSweep)...),
+	}
+	return s.sweepTable(t, func(std, ecp *stats.Run) string {
+		return report.FormatPct(stats.Decompose(std, ecp).PollutionFraction())
+	})
+}
+
+// Fig11 reproduces the per-node injection counts against machine size
+// (read-triggered injections fall as shared items find unused room;
+// write-triggered ones stay constant).
+func (s *Suite) Fig11() (*report.Table, error) {
+	t := &report.Table{
+		ID:    "fig11",
+		Title: "Injections per node per 10000 references vs processor count",
+		Note: fmt.Sprintf("%g recovery points/s; rows per application: read-triggered then write-triggered",
+			s.P.SweepHz),
+		Columns: append([]string{"application"}, nodeCols(s.P.NodeSweep)...),
+	}
+	for _, app := range s.P.Apps {
+		reads := make([]interface{}, 0, len(s.P.NodeSweep)+1)
+		writes := make([]interface{}, 0, len(s.P.NodeSweep)+1)
+		reads = append(reads, app.Name+" (reads)")
+		writes = append(writes, app.Name+" (writes)")
+		for _, nodes := range s.P.NodeSweep {
+			ecp, err := s.ecp(app, nodes, s.P.SweepHz)
+			if err != nil {
+				return nil, err
+			}
+			// Injections and references are machine-wide sums, so their
+			// ratio is already the per-node average rate.
+			total := ecp.Total()
+			reads = append(reads, report.FormatFloat(total.Per10KRefs(total.InjectionsOnReads())))
+			writes = append(writes, report.FormatFloat(total.Per10KRefs(total.InjectionsOnWrites())))
+		}
+		t.AddRow(reads...)
+		t.AddRow(writes...)
+	}
+	return t, nil
+}
+
+// sweepTable fills one row per application over the node sweep.
+func (s *Suite) sweepTable(t *report.Table, cell func(std, ecp *stats.Run) string) (*report.Table, error) {
+	for _, app := range s.P.Apps {
+		row := make([]interface{}, 0, len(s.P.NodeSweep)+1)
+		row = append(row, app.Name)
+		for _, nodes := range s.P.NodeSweep {
+			std, err := s.std(app, nodes)
+			if err != nil {
+				return nil, err
+			}
+			ecp, err := s.ecp(app, nodes, s.P.SweepHz)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cell(std, ecp))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func nodeCols(sweep []int) []string {
+	out := make([]string, len(sweep))
+	for i, n := range sweep {
+		out[i] = fmt.Sprintf("%d procs", n)
+	}
+	return out
+}
+
+// All regenerates every table and figure in paper order.
+func (s *Suite) All() ([]*report.Table, error) {
+	kind := []func() (*report.Table, error){
+		s.Table1, s.Table2, s.Table3,
+		s.Fig3, s.Fig4, s.Fig5, s.Fig6, s.Fig7,
+		s.Fig8, s.Fig9, s.Fig10, s.Fig11,
+		s.Ablation,
+	}
+	out := make([]*report.Table, 0, len(kind))
+	for _, fn := range kind {
+		t, err := fn()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+// Package fault builds failure plans for the simulated machine: single
+// scripted failures, uniform random schedules, and exponential (MTBF)
+// schedules — the failure model under which the paper motivates backward
+// error recovery for large machines. Plans are deterministic given a
+// seed.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coma/internal/proto"
+	"coma/internal/sim"
+)
+
+// Event is one planned node failure.
+type Event struct {
+	At        int64 // absolute cycle
+	Node      proto.NodeID
+	Permanent bool
+}
+
+// Plan is an ordered failure schedule.
+type Plan []Event
+
+// Validate checks that the plan is ordered and names valid nodes, and
+// that no two failures are simultaneous (two overlapping failures can
+// defeat the two-copy recovery scheme; schedule them apart unless data
+// loss is the point of the experiment).
+func (p Plan) Validate(nodes int) error {
+	for i, e := range p {
+		if int(e.Node) < 0 || int(e.Node) >= nodes {
+			return fmt.Errorf("fault: event %d names node %v of %d", i, e.Node, nodes)
+		}
+		if e.At < 0 {
+			return fmt.Errorf("fault: event %d at negative time %d", i, e.At)
+		}
+		if i > 0 && e.At < p[i-1].At {
+			return fmt.Errorf("fault: events out of order at %d", i)
+		}
+	}
+	return nil
+}
+
+// Single returns a plan with one failure.
+func Single(at int64, node proto.NodeID, permanent bool) Plan {
+	return Plan{{At: at, Node: node, Permanent: permanent}}
+}
+
+// Exponential draws failures with exponentially distributed
+// inter-arrival times of the given mean (an MTBF model over the whole
+// machine), uniformly choosing the victim node, within [0, horizon). All
+// failures are transient unless permanentFrac of them (randomly chosen)
+// are permanent; a node is made permanent at most once and never after
+// it already failed permanently.
+func Exponential(seed uint64, nodes int, meanCycles, horizon int64, permanentFrac float64) Plan {
+	if nodes < 1 || meanCycles <= 0 || horizon <= 0 {
+		return nil
+	}
+	rng := sim.NewRNG(seed)
+	var plan Plan
+	deadPerm := make(map[proto.NodeID]bool)
+	t := int64(0)
+	for {
+		u := rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		t += int64(-math.Log(u) * float64(meanCycles))
+		if t >= horizon {
+			break
+		}
+		n := proto.NodeID(rng.Intn(nodes))
+		if deadPerm[n] {
+			continue
+		}
+		perm := rng.Bool(permanentFrac)
+		if perm {
+			deadPerm[n] = true
+		}
+		plan = append(plan, Event{At: t, Node: n, Permanent: perm})
+	}
+	return plan
+}
+
+// EverySpaced returns count transient failures of distinct nodes spaced
+// evenly through [start, start+span) — a deterministic stress schedule.
+func EverySpaced(start, span int64, count, nodes int) Plan {
+	if count < 1 || nodes < 1 {
+		return nil
+	}
+	plan := make(Plan, 0, count)
+	for i := 0; i < count; i++ {
+		plan = append(plan, Event{
+			At:   start + span*int64(i)/int64(count),
+			Node: proto.NodeID(i % nodes),
+		})
+	}
+	return plan
+}
+
+// Sort orders a plan by time (stable on node id for equal times).
+func (p Plan) Sort() {
+	sort.SliceStable(p, func(i, j int) bool {
+		if p[i].At != p[j].At {
+			return p[i].At < p[j].At
+		}
+		return p[i].Node < p[j].Node
+	})
+}
+
+// PermanentCount returns the number of permanent failures in the plan.
+func (p Plan) PermanentCount() int {
+	c := 0
+	for _, e := range p {
+		if e.Permanent {
+			c++
+		}
+	}
+	return c
+}

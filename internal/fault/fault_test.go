@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"testing"
+
+	"coma/internal/proto"
+)
+
+func TestSingle(t *testing.T) {
+	p := Single(1000, 3, true)
+	if err := p.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || p[0].At != 1000 || p[0].Node != 3 || !p[0].Permanent {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.PermanentCount() != 1 {
+		t.Fatal("permanent count")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Plan{{At: 10, Node: 9}}
+	if bad.Validate(8) == nil {
+		t.Error("out-of-range node accepted")
+	}
+	bad = Plan{{At: 10, Node: 1}, {At: 5, Node: 2}}
+	if bad.Validate(8) == nil {
+		t.Error("out-of-order plan accepted")
+	}
+	bad = Plan{{At: -1, Node: 1}}
+	if bad.Validate(8) == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestExponentialDeterministicAndOrdered(t *testing.T) {
+	a := Exponential(42, 16, 100_000, 10_000_000, 0.25)
+	b := Exponential(42, 16, 100_000, 10_000_000, 0.25)
+	if len(a) == 0 {
+		t.Fatal("empty plan for a 100-MTBF horizon")
+	}
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different plans")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different plans")
+		}
+	}
+	if err := a.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	// Mean spacing should be in the right ballpark.
+	mean := float64(a[len(a)-1].At) / float64(len(a))
+	if mean < 30_000 || mean > 300_000 {
+		t.Fatalf("mean inter-arrival = %.0f, want ~100k", mean)
+	}
+}
+
+func TestExponentialNoFailuresAfterPermanentDeath(t *testing.T) {
+	p := Exponential(7, 4, 50_000, 20_000_000, 1.0) // all permanent
+	seen := map[proto.NodeID]int{}
+	for _, e := range p {
+		seen[e.Node]++
+	}
+	for n, c := range seen {
+		if c > 1 {
+			t.Fatalf("node %v fails permanently %d times", n, c)
+		}
+	}
+}
+
+func TestEverySpaced(t *testing.T) {
+	p := EverySpaced(1000, 9000, 3, 16)
+	if len(p) != 3 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p[0].At != 1000 || p[1].At != 4000 || p[2].At != 7000 {
+		t.Fatalf("times = %v %v %v", p[0].At, p[1].At, p[2].At)
+	}
+	if err := p.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	p := Plan{{At: 20, Node: 5}, {At: 10, Node: 7}, {At: 10, Node: 2}}
+	p.Sort()
+	if p[0].At != 10 || p[0].Node != 7 && p[0].Node != 2 {
+		t.Fatalf("sorted = %+v", p)
+	}
+	if p[0].Node != 2 {
+		t.Fatalf("equal times not ordered by node: %+v", p)
+	}
+	if err := p.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+}

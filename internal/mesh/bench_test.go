@@ -1,0 +1,22 @@
+package mesh
+
+import (
+	"testing"
+
+	"coma/internal/config"
+	"coma/internal/proto"
+	"coma/internal/sim"
+)
+
+func BenchmarkSendDeliver(b *testing.B) {
+	e := sim.New()
+	n := New(e, config.KSR1(16))
+	n.SetHandler(15, func(m Message) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(Message{Kind: proto.MsgDataReply, Src: 0, Dst: 15})
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package proto defines the vocabulary shared by every layer of the
+// simulator: node/item/page identifiers, coherence states (standard COMA-F
+// states plus the recovery states added by the Extended Coherence
+// Protocol), message kinds, and injection causes.
+//
+// It is a leaf package: it imports nothing from the rest of the module so
+// that the attraction memory, the directory and the protocol engine can all
+// speak the same types without cycles.
+package proto
+
+import "fmt"
+
+// NodeID identifies a processing node. The zero value is a valid node;
+// None marks the absence of a node (for example "no owner yet").
+type NodeID int16
+
+// None is the sentinel "no node" value.
+const None NodeID = -1
+
+// Valid reports whether n refers to an actual node.
+func (n NodeID) Valid() bool { return n >= 0 }
+
+func (n NodeID) String() string {
+	if n == None {
+		return "none"
+	}
+	return fmt.Sprintf("n%d", int(n))
+}
+
+// ItemID is the global index of a memory item (the COMA coherence unit,
+// 128 bytes in the paper's configuration). Items are numbered densely from
+// zero over the shared address space: item = address / ItemSize.
+type ItemID int32
+
+// NoItem marks the absence of an item.
+const NoItem ItemID = -1
+
+// PageID is the global index of a memory page (the AM allocation unit,
+// 16 KB in the paper's configuration).
+type PageID int32
+
+// NoPage marks the absence of a page.
+const NoPage PageID = -1
+
+// State is the coherence state of one item copy in one attraction memory.
+//
+// The first four states form the standard COMA-F write-invalidate protocol.
+// The remaining six are the states the paper's Extended Coherence Protocol
+// adds to identify recovery data; each recovery pair is split into a "1"
+// and a "2" copy so that exactly one of the pair (the 1 copy) may deliver
+// exclusive access rights, avoiding multiple owners (paper §4.1).
+type State uint8
+
+const (
+	// Invalid: the slot holds no usable copy.
+	Invalid State = iota
+	// Shared: a read-only copy; other copies may exist.
+	Shared
+	// MasterShared: the master copy of an item that has Shared replicas.
+	// The master must never be purged without injection.
+	MasterShared
+	// Exclusive: the only valid copy of the item; read-write.
+	Exclusive
+	// SharedCK1 is the primary recovery copy of an item unmodified since
+	// the last recovery point. Readable; serves read misses; the only CK
+	// copy allowed to hand out exclusive rights.
+	SharedCK1
+	// SharedCK2 is the secondary recovery copy of an unmodified item.
+	// Readable by the local processor.
+	SharedCK2
+	// InvCK1 is the primary recovery copy of an item modified since the
+	// last recovery point. Not accessible; kept only for rollback.
+	InvCK1
+	// InvCK2 is the secondary recovery copy of a modified item.
+	InvCK2
+	// PreCommit1 is the transient-between-checkpoint-phases primary copy
+	// of the recovery point being established.
+	PreCommit1
+	// PreCommit2 is the secondary copy of the recovery point being
+	// established.
+	PreCommit2
+
+	numStates
+)
+
+var stateNames = [numStates]string{
+	"Invalid", "Shared", "MasterShared", "Exclusive",
+	"SharedCK1", "SharedCK2", "InvCK1", "InvCK2", "PreCommit1", "PreCommit2",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Readable reports whether the local processor may read this copy.
+// Inv-CK copies are kept only for recovery and must be treated as misses.
+func (s State) Readable() bool {
+	switch s {
+	case Shared, MasterShared, Exclusive, SharedCK1, SharedCK2:
+		return true
+	}
+	return false
+}
+
+// Writable reports whether the local processor may write this copy
+// without a coherence transaction.
+func (s State) Writable() bool { return s == Exclusive }
+
+// Owner reports whether this copy answers remote requests for the item:
+// Exclusive and MasterShared in the standard protocol, SharedCK1 (and the
+// transient PreCommit1) under the ECP when the item is unmodified since the
+// last recovery point.
+func (s State) Owner() bool {
+	switch s {
+	case Exclusive, MasterShared, SharedCK1, PreCommit1:
+		return true
+	}
+	return false
+}
+
+// Recovery reports whether the copy belongs to a recovery point (committed
+// or being established) and therefore must never be silently dropped.
+func (s State) Recovery() bool {
+	switch s {
+	case SharedCK1, SharedCK2, InvCK1, InvCK2, PreCommit1, PreCommit2:
+		return true
+	}
+	return false
+}
+
+// CheckpointCommitted reports whether the copy belongs to the last
+// committed recovery point (Shared-CK or Inv-CK).
+func (s State) CheckpointCommitted() bool {
+	switch s {
+	case SharedCK1, SharedCK2, InvCK1, InvCK2:
+		return true
+	}
+	return false
+}
+
+// Current reports whether the copy belongs to the current computation
+// state (as opposed to recovery data): Shared, MasterShared or Exclusive.
+// Shared-CK copies are both recovery and current until the item is first
+// modified, but they are classified as recovery here.
+func (s State) Current() bool {
+	switch s {
+	case Shared, MasterShared, Exclusive:
+		return true
+	}
+	return false
+}
+
+// Replaceable reports whether an AM may silently reuse the slot holding a
+// copy in this state to accept an injection or a replacement (paper §4.1:
+// "To accept an injection, an AM can only replace one of its Invalid or
+// Shared lines").
+func (s State) Replaceable() bool { return s == Invalid || s == Shared }
+
+// Modified reports whether the copy represents data modified since the
+// last recovery point from the checkpointing algorithm's point of view
+// (the create phase replicates Exclusive and Master-Shared copies).
+func (s State) Modified() bool { return s == Exclusive || s == MasterShared }
+
+// Primary reports whether this is the "1" copy of a recovery pair.
+func (s State) Primary() bool {
+	return s == SharedCK1 || s == InvCK1 || s == PreCommit1
+}
+
+// Partner returns the state of the other copy of a recovery pair:
+// SharedCK1 <-> SharedCK2 and so on. It panics for non-recovery states.
+func (s State) Partner() State {
+	switch s {
+	case SharedCK1:
+		return SharedCK2
+	case SharedCK2:
+		return SharedCK1
+	case InvCK1:
+		return InvCK2
+	case InvCK2:
+		return InvCK1
+	case PreCommit1:
+		return PreCommit2
+	case PreCommit2:
+		return PreCommit1
+	}
+	panic("proto: Partner of non-recovery state " + s.String())
+}
+
+// MsgKind enumerates the message types exchanged by node controllers.
+type MsgKind uint8
+
+const (
+	// MsgReadReq asks the home (then owner) for a read copy.
+	MsgReadReq MsgKind = iota
+	// MsgWriteReq asks the home (then owner) for an exclusive copy.
+	MsgWriteReq
+	// MsgReadFwd is a read request forwarded from the home to the owner.
+	MsgReadFwd
+	// MsgWriteFwd is a write request forwarded from the home to the owner.
+	MsgWriteFwd
+	// MsgColdGrant tells a first-toucher it may create the item locally
+	// (no data travels: the item did not exist anywhere).
+	MsgColdGrant
+	// MsgDataReply carries one item of data back to a requester.
+	MsgDataReply
+	// MsgInvalidate tells a node to drop its Shared copy (or downgrade a
+	// Shared-CK copy to Inv-CK).
+	MsgInvalidate
+	// MsgInvalidateAck acknowledges an invalidation.
+	MsgInvalidateAck
+	// MsgInjectProbe asks a ring neighbour whether it can accept an
+	// injected copy (step one of the two-step injection).
+	MsgInjectProbe
+	// MsgInjectAccept answers a probe positively.
+	MsgInjectAccept
+	// MsgInjectRefuse answers a probe negatively; the source tries the
+	// next node on the logical ring.
+	MsgInjectRefuse
+	// MsgInjectData carries the injected item (step two).
+	MsgInjectData
+	// MsgInjectAck confirms reception of injected data (sent 5 cycles
+	// after reception in the paper's configuration).
+	MsgInjectAck
+	// MsgHomeUpdate updates the localisation pointer at the item's home.
+	MsgHomeUpdate
+	// MsgPageAlloc asks an anchor node to reserve an irreplaceable page
+	// frame for a newly touched page.
+	MsgPageAlloc
+	// MsgPartnerUpdate updates the recovery-pair partner pointer held by
+	// the other copy of the pair.
+	MsgPartnerUpdate
+	// MsgPreCommitUpgrade turns a remote Shared copy into the PreCommit2
+	// copy of the recovery point being established (the paper's
+	// replication-reuse optimisation: no data transfer).
+	MsgPreCommitUpgrade
+	// MsgPreCommitUpgradeAck acknowledges the upgrade.
+	MsgPreCommitUpgradeAck
+	// MsgCkptPrepare starts a recovery-point establishment (coordinator
+	// to all nodes).
+	MsgCkptPrepare
+	// MsgCkptCreateDone reports completion of a node's create phase.
+	MsgCkptCreateDone
+	// MsgCkptCommit starts the (local) commit phase on all nodes.
+	MsgCkptCommit
+	// MsgCkptCommitDone reports completion of a node's commit phase.
+	MsgCkptCommitDone
+	// MsgRecover orders every node to restore the last recovery point.
+	MsgRecover
+	// MsgRecoverDone reports completion of a node's restoration scan.
+	MsgRecoverDone
+
+	numMsgKinds
+)
+
+var msgKindNames = [numMsgKinds]string{
+	"ReadReq", "WriteReq", "ReadFwd", "WriteFwd", "ColdGrant",
+	"DataReply", "Invalidate", "InvalidateAck",
+	"InjectProbe", "InjectAccept", "InjectRefuse", "InjectData", "InjectAck",
+	"HomeUpdate", "PageAlloc", "PartnerUpdate",
+	"PreCommitUpgrade", "PreCommitUpgradeAck",
+	"CkptPrepare", "CkptCreateDone", "CkptCommit", "CkptCommitDone",
+	"Recover", "RecoverDone",
+}
+
+func (k MsgKind) String() string {
+	if int(k) < len(msgKindNames) {
+		return msgKindNames[k]
+	}
+	return fmt.Sprintf("MsgKind(%d)", uint8(k))
+}
+
+// Carry reports whether messages of this kind carry a full item of data
+// (and therefore occupy data-sized messages on the reply subnetwork).
+func (k MsgKind) Carry() bool {
+	return k == MsgDataReply || k == MsgInjectData
+}
+
+// InjectCause classifies why an injection happened, matching Table 1 of
+// the paper plus the two causes that already exist in a standard COMA
+// (master replacement) and the one added by recovery-point establishment.
+type InjectCause uint8
+
+const (
+	// InjectReplaceMaster: a master (Exclusive or Master-Shared) copy was
+	// chosen as a replacement victim (standard COMA behaviour).
+	InjectReplaceMaster InjectCause = iota
+	// InjectReplaceSharedCK: a Shared-CK copy was chosen as a victim.
+	InjectReplaceSharedCK
+	// InjectReplaceInvCK: an Inv-CK copy was chosen as a victim.
+	InjectReplaceInvCK
+	// InjectReadInvCK: a read access hit a local Inv-CK copy (injection
+	// followed by a read miss).
+	InjectReadInvCK
+	// InjectWriteInvCK: a write access hit a local Inv-CK copy (injection
+	// followed by a write miss).
+	InjectWriteInvCK
+	// InjectWriteSharedCK: a write access hit a local Shared-CK copy
+	// (injection followed by a write miss).
+	InjectWriteSharedCK
+	// InjectCheckpoint: replication performed by the create phase of a
+	// recovery-point establishment.
+	InjectCheckpoint
+	// InjectReconfigure: re-replication performed after a permanent
+	// failure to restore recovery-data persistence.
+	InjectReconfigure
+
+	NumInjectCauses // NumInjectCauses is the number of injection causes.
+)
+
+var injectCauseNames = [NumInjectCauses]string{
+	"replace-master", "replace-shared-ck", "replace-inv-ck",
+	"read-inv-ck", "write-inv-ck", "write-shared-ck",
+	"checkpoint", "reconfigure",
+}
+
+func (c InjectCause) String() string {
+	if int(c) < len(injectCauseNames) {
+		return injectCauseNames[c]
+	}
+	return fmt.Sprintf("InjectCause(%d)", uint8(c))
+}
+
+// OnRead reports whether the cause is an injection triggered by a read
+// access (Fig. 6 and Fig. 11 of the paper split injections into read- and
+// write-triggered).
+func (c InjectCause) OnRead() bool { return c == InjectReadInvCK }
+
+// OnWrite reports whether the cause is an injection triggered by a write
+// access.
+func (c InjectCause) OnWrite() bool {
+	return c == InjectWriteInvCK || c == InjectWriteSharedCK
+}

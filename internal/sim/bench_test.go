@@ -1,0 +1,34 @@
+package sim
+
+import "testing"
+
+func BenchmarkEventDispatch(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProcessWait(b *testing.B) {
+	e := New()
+	e.Spawn("w", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	e.Shutdown()
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

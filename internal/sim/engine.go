@@ -1,0 +1,204 @@
+// Package sim is a deterministic discrete-event simulation kernel in the
+// style of the CSIM library used by the paper's original simulator: time is
+// a monotonically increasing cycle counter, callbacks fire at scheduled
+// cycles, and long-running activities are written as lightweight processes
+// (one goroutine each) that block on simulated time, futures, resources and
+// barriers.
+//
+// Determinism: at most one goroutine (the engine or exactly one process)
+// runs at any instant, enforced by a strict wake/yield handshake, and
+// simultaneous events fire in schedule order. Two runs with the same seed
+// and the same inputs produce identical event sequences.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Engine is the event queue and clock of one simulation. The zero value is
+// not usable; call New.
+type Engine struct {
+	now   int64
+	seq   int64
+	queue eventHeap
+
+	yield chan struct{} // processes hand control back to the engine here
+
+	procs   map[*Process]struct{}
+	nextPID int
+
+	running  bool
+	stopped  bool
+	shutdown bool
+
+	events int64 // total events dispatched, for diagnostics
+}
+
+type event struct {
+	time int64
+	seq  int64
+	fn   func()
+}
+
+// New returns a fresh engine with the clock at cycle zero.
+func New() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		procs: make(map[*Process]struct{}),
+	}
+}
+
+// Now returns the current simulated time in cycles.
+func (e *Engine) Now() int64 { return e.now }
+
+// Events returns the number of events dispatched so far.
+func (e *Engine) Events() int64 { return e.events }
+
+// Processes returns the number of live (spawned, not yet finished)
+// processes.
+func (e *Engine) Processes() int { return len(e.procs) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics.
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.queue.push(event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d int64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently dispatching event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// ErrNested is returned by Run when called re-entrantly.
+var ErrNested = errors.New("sim: Run called while already running")
+
+// Run dispatches events in (time, schedule-order) until the queue is empty,
+// Stop is called, or the optional limit is reached. It returns the time at
+// which it stopped.
+func (e *Engine) Run() (int64, error) { return e.RunUntil(-1) }
+
+// RunUntil behaves like Run but additionally stops once the clock would
+// advance past limit (events at exactly limit still fire). A negative limit
+// means no limit.
+func (e *Engine) RunUntil(limit int64) (int64, error) {
+	if e.running {
+		return e.now, ErrNested
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for !e.stopped && e.queue.len() > 0 {
+		next := e.queue.peek()
+		if limit >= 0 && next.time > limit {
+			e.now = limit
+			return e.now, nil
+		}
+		ev := e.queue.pop()
+		if ev.time < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.time
+		e.events++
+		ev.fn()
+	}
+	return e.now, nil
+}
+
+// Shutdown terminates every live process (they observe a killed signal at
+// their next — or current — blocking point) and drains their goroutines.
+// The engine must not be running. After Shutdown the engine can still
+// inspect state but should not schedule further work.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown while running")
+	}
+	e.shutdown = true
+	// Wake every parked process; each observes killed and unwinds.
+	for len(e.procs) > 0 {
+		var p *Process
+		for q := range e.procs {
+			if p == nil || q.id < p.id {
+				p = q // deterministic order: lowest id first
+			}
+		}
+		p.killed = true
+		p.wake <- struct{}{}
+		<-e.yield
+	}
+}
+
+// wakeNow schedules an immediate handshake that resumes p and waits for it
+// to park again or finish.
+func (e *Engine) wakeNow(p *Process) {
+	e.After(0, func() {
+		p.wake <- struct{}{}
+		<-e.yield
+	})
+}
+
+// WakeNow resumes a process blocked in Park at the current simulated
+// time. The counterpart of Process.Park for externally built primitives.
+func (e *Engine) WakeNow(p *Process) { e.wakeNow(p) }
+
+// eventHeap is a binary min-heap ordered by (time, seq).
+type eventHeap struct{ a []event }
+
+func (h *eventHeap) len() int     { return len(h.a) }
+func (h *eventHeap) peek() *event { return &h.a[0] }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.a[i].time != h.a[j].time {
+		return h.a[i].time < h.a[j].time
+	}
+	return h.a[i].seq < h.a[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	h.a = append(h.a, ev)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a[last] = event{} // release the closure
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.a) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.a) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(10, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 0) })
+	e.At(10, func() { got = append(got, 2) }) // same time: schedule order
+	e.At(20, func() { got = append(got, 3) })
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 20 {
+		t.Fatalf("end time = %d, want 20", end)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	e := New()
+	var at int64 = -1
+	e.After(7, func() { at = e.Now() })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 7 {
+		t.Fatalf("event ran at %d, want 7", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(30, func() { fired++ })
+	end, err := e.RunUntil(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 20 {
+		t.Fatalf("end = %d, want 20", end)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (events at exactly the limit fire)", fired)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("fired = %d after resume, want 3", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(1, func() { fired++; e.Stop() })
+	e.At(2, func() { fired++ })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestHeapManyEvents(t *testing.T) {
+	e := New()
+	r := NewRNG(42)
+	const n = 5000
+	times := make([]int64, n)
+	for i := range times {
+		times[i] = r.Int63n(1000)
+	}
+	var prev int64 = -1
+	count := 0
+	for _, ti := range times {
+		ti := ti
+		e.At(ti, func() {
+			if ti < prev {
+				t.Fatalf("event at %d fired after %d", ti, prev)
+			}
+			prev = ti
+			count++
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("dispatched %d, want %d", count, n)
+	}
+	if e.Events() != n {
+		t.Fatalf("Events() = %d, want %d", e.Events(), n)
+	}
+}
+
+func TestProcessWait(t *testing.T) {
+	e := New()
+	var trace []int64
+	e.Spawn("walker", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Wait(10)
+			trace = append(trace, p.Now())
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 20, 30}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+	if e.Processes() != 0 {
+		t.Fatalf("live processes = %d, want 0", e.Processes())
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var order []string
+		for _, d := range []struct {
+			name string
+			step int64
+		}{{"a", 3}, {"b", 5}, {"c", 7}} {
+			d := d
+			e.Spawn(d.name, func(p *Process) {
+				for i := 0; i < 4; i++ {
+					p.Wait(d.step)
+					order = append(order, d.name)
+				}
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("run %d: length %d != %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("run %d: order diverged at %d: %v vs %v", i, j, again, first)
+			}
+		}
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	e := New()
+	var at int64
+	e.Spawn("p", func(p *Process) {
+		p.WaitUntil(15)
+		p.WaitUntil(10) // already past: no-op
+		at = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 15 {
+		t.Fatalf("at = %d, want 15", at)
+	}
+}
+
+func TestShutdownKillsParkedProcesses(t *testing.T) {
+	e := New()
+	f := NewFuture[int]()
+	cleaned := false
+	e.Spawn("stuck", func(p *Process) {
+		defer func() { cleaned = true }()
+		f.Await(p) // never completed
+		t.Error("process resumed past an incomplete future")
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Processes() != 1 {
+		t.Fatalf("live processes = %d, want 1 (parked)", e.Processes())
+	}
+	e.Shutdown()
+	if e.Processes() != 0 {
+		t.Fatalf("live processes after shutdown = %d, want 0", e.Processes())
+	}
+	if !cleaned {
+		t.Error("deferred cleanup did not run on kill")
+	}
+}
+
+func TestShutdownManyProcesses(t *testing.T) {
+	e := New()
+	g := NewGate()
+	for i := 0; i < 50; i++ {
+		e.Spawn("w", func(p *Process) { g.Wait(p); p.Wait(1e18) })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if e.Processes() != 0 {
+		t.Fatalf("live processes = %d, want 0", e.Processes())
+	}
+}
+
+func TestNestedRunRejected(t *testing.T) {
+	e := New()
+	var nested error
+	e.At(1, func() { _, nested = e.Run() })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nested != ErrNested {
+		t.Fatalf("nested Run error = %v, want ErrNested", nested)
+	}
+}

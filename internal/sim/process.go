@@ -1,0 +1,112 @@
+package sim
+
+import "fmt"
+
+// killedSignal is the panic value used to unwind a process terminated by
+// Engine.Shutdown. It never escapes the process wrapper.
+type killedSignal struct{}
+
+// Process is a lightweight simulated process: a goroutine that runs only
+// while the engine has handed it control, and that blocks on simulated
+// time (Wait), futures (Await), resources (Acquire) and barriers.
+type Process struct {
+	eng    *Engine
+	id     int
+	name   string
+	wake   chan struct{}
+	killed bool
+}
+
+// Spawn starts fn as a new process at the current simulated time. The name
+// is used in diagnostics only. fn receives the Process handle it must use
+// for all blocking operations.
+func (e *Engine) Spawn(name string, fn func(p *Process)) *Process {
+	e.nextPID++
+	p := &Process{
+		eng:  e,
+		id:   e.nextPID,
+		name: name,
+		wake: make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	e.After(0, func() {
+		go p.top(fn)
+		<-e.yield
+	})
+	return p
+}
+
+// top is the outermost frame of the process goroutine. It guarantees the
+// engine always gets its yield back, whether fn returns, is killed, or
+// panics (a real panic is re-raised after the handshake so the program
+// crashes loudly rather than deadlocking).
+func (p *Process) top(fn func(*Process)) {
+	var crash any
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedSignal); !ok {
+					crash = r
+				}
+			}
+		}()
+		fn(p)
+	}()
+	delete(p.eng.procs, p)
+	if crash != nil {
+		// Re-panic on this goroutine: the process misbehaved and the
+		// whole simulation is undefined. Yield first so the engine
+		// goroutine is not left blocked when the runtime unwinds.
+		p.eng.yield <- struct{}{}
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, crash))
+	}
+	p.eng.yield <- struct{}{}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Process) Now() int64 { return p.eng.now }
+
+// park hands control back to the engine and blocks until something wakes
+// this process. Every blocking primitive funnels through here.
+func (p *Process) park() {
+	p.eng.yield <- struct{}{}
+	<-p.wake
+	if p.killed {
+		panic(killedSignal{})
+	}
+}
+
+// Park blocks the process until another component wakes it with
+// Engine.WakeNow. It is the escape hatch for building synchronisation
+// primitives outside this package (for example the coherence engine's
+// per-item transaction locks); prefer Wait/Await/Acquire where they fit.
+func (p *Process) Park() { p.park() }
+
+// Wait blocks the process for d simulated cycles. Wait(0) yields control
+// for the current cycle (other events at the same time may run).
+func (p *Process) Wait(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q waiting negative %d", p.name, d))
+	}
+	e := p.eng
+	e.At(e.now+d, func() {
+		p.wake <- struct{}{}
+		<-e.yield
+	})
+	p.park()
+}
+
+// WaitUntil blocks the process until absolute time t (a no-op if t is not
+// in the future).
+func (p *Process) WaitUntil(t int64) {
+	if t <= p.eng.now {
+		return
+	}
+	p.Wait(t - p.eng.now)
+}

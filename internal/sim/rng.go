@@ -1,0 +1,82 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64-seeded xorshift64*). Every stochastic choice in the
+// simulator draws from an RNG derived from the run seed so that runs are
+// reproducible across platforms and Go versions (unlike math/rand, whose
+// algorithms have changed between releases).
+type RNG struct{ s uint64 }
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the deterministic state for seed.
+func (r *RNG) Reseed(seed uint64) {
+	// splitmix64 step: avoids weak all-zero / small-seed states.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	r.s = z
+}
+
+// State returns the full generator state (for snapshot/rollback).
+func (r *RNG) State() uint64 { return r.s }
+
+// Restore sets the generator state to a value previously returned by
+// State.
+func (r *RNG) Restore(state uint64) {
+	if state == 0 {
+		panic("sim: restoring zero RNG state")
+	}
+	r.s = state
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive bound")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Derive returns a new generator whose stream is a deterministic function
+// of this generator's seed and the given stream label, without consuming
+// state from the parent. Use it to give each node/process an independent
+// stream.
+func (r *RNG) Derive(label uint64) *RNG {
+	return NewRNG(r.s ^ (label+1)*0x9e3779b97f4a7c15)
+}

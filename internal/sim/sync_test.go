@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFutureCompleteThenAwait(t *testing.T) {
+	e := New()
+	f := NewFuture[string]()
+	var got string
+	e.At(5, func() { f.Complete(e, "hello") })
+	e.Spawn("late", func(p *Process) {
+		p.Wait(10)
+		got = f.Await(p) // already done: immediate
+		if p.Now() != 10 {
+			t.Errorf("await of done future advanced time to %d", p.Now())
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFutureWakesAllWaiters(t *testing.T) {
+	e := New()
+	f := NewFuture[int]()
+	woken := 0
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Process) {
+			v := f.Await(p)
+			if v != 99 {
+				t.Errorf("value = %d", v)
+			}
+			if p.Now() != 7 {
+				t.Errorf("woken at %d, want 7", p.Now())
+			}
+			woken++
+		})
+	}
+	e.At(7, func() { f.Complete(e, 99) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 4 {
+		t.Fatalf("woken = %d, want 4", woken)
+	}
+}
+
+func TestFutureDoubleCompletePanics(t *testing.T) {
+	e := New()
+	f := NewFuture[int]()
+	f.Complete(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("double complete did not panic")
+		}
+	}()
+	f.Complete(e, 2)
+}
+
+func TestResourceSerialisesFIFO(t *testing.T) {
+	e := New()
+	r := NewResource("unit", 1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("u", func(p *Process) {
+			p.Wait(int64(i)) // stagger arrivals: 0, 1, 2
+			r.Acquire(p)
+			order = append(order, i)
+			p.Wait(10)
+			r.Release(e)
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("service order %v, want [0 1 2]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("end = %d, want 30 (fully serialised)", e.Now())
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	e := New()
+	r := NewResource("pair", 2)
+	for i := 0; i < 4; i++ {
+		e.Spawn("u", func(p *Process) { r.Use(p, 10) })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("end = %d, want 20 (two waves of two)", e.Now())
+	}
+	if got := r.BusyCycles(e); got != 40 {
+		t.Fatalf("busy cycles = %d, want 40", got)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := New()
+	r := NewResource("t", 1)
+	if !r.TryAcquire(e) {
+		t.Fatal("TryAcquire on idle resource failed")
+	}
+	if r.TryAcquire(e) {
+		t.Fatal("TryAcquire on busy resource succeeded")
+	}
+	r.Release(e)
+	if !r.TryAcquire(e) {
+		t.Fatal("TryAcquire after release failed")
+	}
+	r.Release(e)
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	e := New()
+	r := NewResource("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("release of idle resource did not panic")
+		}
+	}()
+	r.Release(e)
+}
+
+func TestBarrierRounds(t *testing.T) {
+	e := New()
+	b := NewBarrier(3)
+	releases := make([]int64, 0, 6)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("b", func(p *Process) {
+			for round := 0; round < 2; round++ {
+				p.Wait(int64(1 + i + round*100))
+				b.Arrive(p)
+				releases = append(releases, p.Now())
+			}
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Rounds() != 2 {
+		t.Fatalf("rounds = %d, want 2", b.Rounds())
+	}
+	if len(releases) != 6 {
+		t.Fatalf("releases = %v", releases)
+	}
+	// First round completes when the slowest (i=2) arrives at t=3.
+	for _, r := range releases[:3] {
+		if r != 3 {
+			t.Fatalf("first-round release at %d, want 3 (%v)", r, releases)
+		}
+	}
+}
+
+func TestBarrierLastArriverNotBlocked(t *testing.T) {
+	e := New()
+	b := NewBarrier(2)
+	var lastWasCompleter bool
+	e.Spawn("first", func(p *Process) {
+		b.Arrive(p)
+	})
+	e.Spawn("second", func(p *Process) {
+		p.Wait(5)
+		lastWasCompleter = b.Arrive(p)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !lastWasCompleter {
+		t.Error("last arriver did not observe completion")
+	}
+}
+
+func TestBarrierResizeOpensRound(t *testing.T) {
+	e := New()
+	b := NewBarrier(3)
+	done := 0
+	for i := 0; i < 2; i++ {
+		e.Spawn("b", func(p *Process) {
+			b.Arrive(p)
+			done++
+		})
+	}
+	// A third participant "dies": shrink the barrier at t=10.
+	e.At(10, func() { b.Resize(e, 2) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 {
+		t.Fatalf("done = %d, want 2 after resize released the round", done)
+	}
+}
+
+func TestGateBroadcastAndReuse(t *testing.T) {
+	e := New()
+	g := NewGate()
+	passed := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("g", func(p *Process) {
+			g.Wait(p)
+			passed++
+		})
+	}
+	e.At(4, func() { g.Open(e) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if passed != 3 {
+		t.Fatalf("passed = %d, want 3", passed)
+	}
+	// Re-arm and check an open gate passes immediately.
+	g.Close()
+	if g.IsOpen() {
+		t.Fatal("gate still open after Close")
+	}
+	g.Open(e)
+	e.Spawn("fast", func(p *Process) { g.Wait(p); passed++ })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if passed != 4 {
+		t.Fatalf("passed = %d, want 4", passed)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(124)
+	same := 0
+	a.Reseed(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestRNGSnapshotRestore(t *testing.T) {
+	r := NewRNG(7)
+	r.Uint64()
+	s := r.State()
+	first := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	r.Restore(s)
+	for i, want := range first {
+		if got := r.Uint64(); got != want {
+			t.Fatalf("replay diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestRNGRangesProperty(t *testing.T) {
+	check := func(seed uint64, n uint16) bool {
+		r := NewRNG(seed)
+		bound := int(n%1000) + 1
+		for i := 0; i < 50; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeriveIndependentStreams(t *testing.T) {
+	root := NewRNG(99)
+	a := root.Derive(0)
+	b := root.Derive(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams collided %d/1000 times", same)
+	}
+	// Deriving must not consume parent state.
+	c, d := NewRNG(99), NewRNG(99)
+	c.Derive(5)
+	if c.Uint64() != d.Uint64() {
+		t.Fatal("Derive consumed parent state")
+	}
+}
+
+func TestRNGBoolBias(t *testing.T) {
+	r := NewRNG(31337)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Bool(0.25) frequency = %.3f", frac)
+	}
+}

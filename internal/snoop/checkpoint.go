@@ -1,0 +1,256 @@
+package snoop
+
+import (
+	"fmt"
+
+	"coma/internal/am"
+	"coma/internal/proto"
+	"coma/internal/sim"
+)
+
+// coordinator establishes periodic recovery points. On a bus the create
+// phases of all nodes serialise through the single medium anyway, so the
+// coordinator drives them directly: quiesce all processors, replicate
+// every modified item (one bus tenure each), commit locally, snapshot,
+// resume.
+func (m *Machine) coordinator(p *sim.Process) {
+	for {
+		p.Wait(m.cfg.CheckpointInterval)
+		if m.running == 0 {
+			return
+		}
+		// Serialise with failure recovery: both drive the same quiesce
+		// machinery.
+		m.roundLock.Acquire(p)
+		m.pause = true
+		m.kickIdle()
+		m.quiesce.Arrive(p) // all processors parked
+
+		tCreate := p.Now()
+		for i := range m.ams {
+			m.createNode(p, proto.NodeID(i))
+		}
+		tCommit := p.Now()
+		m.ckpt.CreateCycles += tCommit - tCreate
+
+		// Commit scans run locally in parallel: charge the slowest.
+		var worst int64
+		for i := range m.ams {
+			if c := m.commitCost(proto.NodeID(i)); c > worst {
+				worst = c
+			}
+			m.commitNode(proto.NodeID(i))
+		}
+		p.Wait(worst)
+		m.ckpt.CommitCycles += p.Now() - tCommit
+		m.ckpt.Established++
+
+		for i, g := range m.gens {
+			m.genSnaps[i] = g.Snapshot()
+		}
+		if m.oracle != nil {
+			m.committed = make(map[proto.ItemID]uint64, len(m.oracle))
+			for k, v := range m.oracle {
+				m.committed[k] = v
+			}
+		}
+		if err := m.CheckRecoveryPairs(); err != nil {
+			m.fail(fmt.Errorf("snoop: at commit: %w", err))
+		}
+
+		m.pause = false
+		m.resume.Open(m.eng)
+		m.resume.Close()
+		m.roundLock.Release(m.eng)
+	}
+}
+
+// createNode replicates every modified item of one node (Fig. 2 of the
+// paper, on a bus: one tenure per item).
+func (m *Machine) createNode(p *sim.Process, n proto.NodeID) {
+	c := m.c[n]
+	start := p.Now()
+	for _, item := range m.ams[n].ModifiedItems(nil) {
+		m.bus.Acquire(p)
+		p.Wait(m.cfg.AddrPhase)
+		m.busCycles += m.cfg.AddrPhase
+		st := m.ams[n].State(item)
+		reused := false
+		if st == proto.MasterShared && m.cfg.FaultTolerant {
+			// Replication reuse: upgrade a snooped Shared copy.
+			for i := range m.ams {
+				t := proto.NodeID(i)
+				if t != n && m.ams[t].State(item) == proto.Shared {
+					m.ams[n].SetState(item, proto.PreCommit1)
+					m.ams[t].SetState(item, proto.PreCommit2)
+					m.ams[t].SetPartner(item, n)
+					m.ams[n].SetPartner(item, t)
+					c.CkptItemsReused++
+					reused = true
+					break
+				}
+			}
+		}
+		if !reused {
+			slot := m.ams[n].Slot(item)
+			m.ams[n].SetState(item, proto.PreCommit1)
+			target := m.placeCopy(p, n, item, proto.PreCommit2, slot.Value, n)
+			m.ams[n].SetPartner(item, target)
+			c.Injections[proto.InjectCheckpoint]++
+			c.CkptItemsReplicated++
+			c.CkptBytesMoved += int64(m.arch.ItemSize)
+		}
+		m.bus.Release(m.eng)
+	}
+	c.CkptCreateCycles += p.Now() - start
+}
+
+func (m *Machine) commitCost(n proto.NodeID) int64 {
+	frames := int64(m.ams[n].AllocatedFrames())
+	perFrame := m.arch.CommitPageTest + int64(m.arch.ItemsPerPage())*m.arch.CommitItemTest
+	return frames * perFrame / int64(m.arch.AMControllers)
+}
+
+func (m *Machine) commitNode(n proto.NodeID) {
+	m.ams[n].ForEachAllocated(func(item proto.ItemID, s *am.Slot) {
+		switch s.State {
+		case proto.PreCommit1:
+			s.State = proto.SharedCK1
+		case proto.PreCommit2:
+			s.State = proto.SharedCK2
+		case proto.InvCK1, proto.InvCK2:
+			s.State = proto.Invalid
+			s.Partner = proto.None
+		}
+	})
+}
+
+// FailTransient injects a transient failure of node f at absolute cycle
+// t: the node's memory is lost, the machine rolls back to its last
+// recovery point, re-pairs the recovery copies that lost their partner,
+// and every generator rewinds. Call before Run.
+func (m *Machine) FailTransient(t int64, f proto.NodeID) {
+	m.eng.At(t, func() {
+		m.eng.Spawn("bus-recovery", func(p *sim.Process) { m.recover(p, f) })
+	})
+}
+
+func (m *Machine) recover(p *sim.Process, f proto.NodeID) {
+	m.roundLock.Acquire(p)
+	m.pause = true
+	m.kickIdle()
+	m.quiesce.Arrive(p)
+
+	m.ams[f].Clear()
+	var worst int64
+	for i := range m.ams {
+		if c := m.commitCost(proto.NodeID(i)); c > worst {
+			worst = c
+		}
+		m.ams[i].ForEachAllocated(func(item proto.ItemID, s *am.Slot) {
+			switch s.State {
+			case proto.Shared, proto.Exclusive, proto.MasterShared,
+				proto.PreCommit1, proto.PreCommit2:
+				s.State = proto.Invalid
+				s.Partner = proto.None
+			case proto.InvCK1:
+				s.State = proto.SharedCK1
+			case proto.InvCK2:
+				s.State = proto.SharedCK2
+			}
+		})
+	}
+	p.Wait(worst)
+
+	// Reconfigure: re-pair every surviving copy whose partner's memory
+	// was lost (promotion first, as on the mesh).
+	for i := range m.ams {
+		n := proto.NodeID(i)
+		type work struct {
+			item    proto.ItemID
+			promote bool
+		}
+		var todo []work
+		m.ams[n].ForEachAllocated(func(item proto.ItemID, s *am.Slot) {
+			if s.State == proto.SharedCK1 && s.Partner == f {
+				todo = append(todo, work{item, false})
+			}
+			if s.State == proto.SharedCK2 && s.Partner == f {
+				todo = append(todo, work{item, true})
+			}
+		})
+		for _, w := range todo {
+			m.bus.Acquire(p)
+			p.Wait(m.cfg.AddrPhase)
+			if w.promote {
+				m.ams[n].SetState(w.item, proto.SharedCK1)
+			}
+			slot := m.ams[n].Slot(w.item)
+			target := m.placeCopy(p, n, w.item, proto.SharedCK2, slot.Value, n)
+			m.ams[n].SetPartner(w.item, target)
+			m.c[n].Injections[proto.InjectReconfigure]++
+			m.bus.Release(m.eng)
+		}
+	}
+
+	// Rollback: oracle and generators rewind to the last recovery point.
+	if m.oracle != nil {
+		m.oracle = make(map[proto.ItemID]uint64, len(m.committed))
+		for k, v := range m.committed {
+			m.oracle[k] = v
+		}
+	}
+	for i, g := range m.gens {
+		g.Restore(m.genSnaps[i])
+	}
+	m.ckpt.Recoveries++
+	if err := m.CheckRecoveryPairs(); err != nil {
+		m.fail(fmt.Errorf("snoop: after rollback: %w", err))
+	}
+
+	m.pause = false
+	m.resume.Open(m.eng)
+	m.resume.Close()
+	m.roundLock.Release(m.eng)
+}
+
+// CheckRecoveryPairs validates that every recovery copy is part of a
+// complete pair on distinct nodes with mutual partner pointers.
+func (m *Machine) CheckRecoveryPairs() error {
+	type pair struct{ ck1, ck2 proto.NodeID }
+	pairs := make(map[proto.ItemID]*pair)
+	get := func(it proto.ItemID) *pair {
+		pr := pairs[it]
+		if pr == nil {
+			pr = &pair{ck1: proto.None, ck2: proto.None}
+			pairs[it] = pr
+		}
+		return pr
+	}
+	for i := range m.ams {
+		n := proto.NodeID(i)
+		m.ams[i].ForEachAllocated(func(it proto.ItemID, s *am.Slot) {
+			switch s.State {
+			case proto.SharedCK1, proto.InvCK1:
+				get(it).ck1 = n
+			case proto.SharedCK2, proto.InvCK2:
+				get(it).ck2 = n
+			}
+		})
+	}
+	for it, pr := range pairs {
+		if pr.ck1 == proto.None || pr.ck2 == proto.None {
+			return fmt.Errorf("item %d has a broken recovery pair (%v,%v)", it, pr.ck1, pr.ck2)
+		}
+		if pr.ck1 == pr.ck2 {
+			return fmt.Errorf("item %d has both recovery copies on %v", it, pr.ck1)
+		}
+		if p1 := m.ams[pr.ck1].Slot(it).Partner; p1 != pr.ck2 {
+			return fmt.Errorf("item %d: CK1 partner %v, want %v", it, p1, pr.ck2)
+		}
+		if p2 := m.ams[pr.ck2].Slot(it).Partner; p2 != pr.ck1 {
+			return fmt.Errorf("item %d: CK2 partner %v, want %v", it, p2, pr.ck1)
+		}
+	}
+	return nil
+}

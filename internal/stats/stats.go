@@ -1,0 +1,301 @@
+// Package stats defines the counters collected during a simulation and
+// the derived quantities reported by the paper's evaluation: the time
+// decomposition T_ft = T_standard + T_create + T_commit + T_pollution,
+// attraction-memory miss rates, injection counts by cause, replication
+// throughput during recovery-point establishment, and page allocation.
+package stats
+
+import "coma/internal/proto"
+
+// Node aggregates per-node protocol counters. The coherence engine and the
+// node model increment these directly; they are plain data with no
+// behaviour beyond derived accessors.
+type Node struct {
+	// Processor-side reference counts.
+	Instructions int64
+	Reads        int64
+	Writes       int64
+	SharedReads  int64
+	SharedWrites int64
+
+	// Attraction-memory accesses (made on cache misses and upgrades).
+	AMReads       int64
+	AMReadMisses  int64
+	AMWrites      int64
+	AMWriteMisses int64
+
+	// Where read misses were filled from (Table 2 style breakdown).
+	FillsLocal  int64 // satisfied by the local AM
+	FillsRemote int64 // data came from a remote AM
+	FillsCold   int64 // first touch, no data transfer
+
+	// SharedCKReads counts processor reads served by a local Shared-CK
+	// copy (the ECP benefit: recovery data stays readable).
+	SharedCKReads int64
+
+	// Injections by cause, plus probe traffic.
+	Injections   [proto.NumInjectCauses]int64
+	InjectProbes int64
+	InjectHops   int64 // ring steps taken before acceptance
+
+	// Recovery-point establishment work done by this node.
+	CkptItemsReplicated int64 // copies created with a data transfer
+	CkptItemsReused     int64 // Shared copies upgraded without transfer
+	CkptBytesMoved      int64 // bytes transferred by create-phase injections
+	CkptCreateCycles    int64 // cycles this node spent in create phases
+	CkptCommitCycles    int64 // cycles this node spent in commit phases
+
+	// Cache flush work at quiesce.
+	FlushedLines int64
+
+	// Invalidations received.
+	InvalidationsIn int64
+}
+
+// References returns the processor memory references issued.
+func (n *Node) References() int64 { return n.Reads + n.Writes }
+
+// AMAccesses returns the total attraction-memory accesses.
+func (n *Node) AMAccesses() int64 { return n.AMReads + n.AMWrites }
+
+// AMMissRate returns the overall AM miss rate in [0,1].
+func (n *Node) AMMissRate() float64 {
+	total := n.AMAccesses()
+	if total == 0 {
+		return 0
+	}
+	return float64(n.AMReadMisses+n.AMWriteMisses) / float64(total)
+}
+
+// AMReadMissRate returns the read miss rate of the AM in [0,1].
+func (n *Node) AMReadMissRate() float64 {
+	if n.AMReads == 0 {
+		return 0
+	}
+	return float64(n.AMReadMisses) / float64(n.AMReads)
+}
+
+// AMWriteMissRate returns the write miss rate of the AM in [0,1].
+func (n *Node) AMWriteMissRate() float64 {
+	if n.AMWrites == 0 {
+		return 0
+	}
+	return float64(n.AMWriteMisses) / float64(n.AMWrites)
+}
+
+// TotalInjections sums injections over all causes.
+func (n *Node) TotalInjections() int64 {
+	var t int64
+	for _, v := range n.Injections {
+		t += v
+	}
+	return t
+}
+
+// InjectionsOnReads returns injections triggered by read accesses to
+// local recovery copies.
+func (n *Node) InjectionsOnReads() int64 {
+	var t int64
+	for c := proto.InjectCause(0); c < proto.NumInjectCauses; c++ {
+		if c.OnRead() {
+			t += n.Injections[c]
+		}
+	}
+	return t
+}
+
+// InjectionsOnWrites returns injections triggered by write accesses to
+// local recovery copies.
+func (n *Node) InjectionsOnWrites() int64 {
+	var t int64
+	for c := proto.InjectCause(0); c < proto.NumInjectCauses; c++ {
+		if c.OnWrite() {
+			t += n.Injections[c]
+		}
+	}
+	return t
+}
+
+// Per10KRefs scales a count to the paper's "per 10 000 memory references"
+// unit.
+func (n *Node) Per10KRefs(count int64) float64 {
+	refs := n.References()
+	if refs == 0 {
+		return 0
+	}
+	return float64(count) * 10_000 / float64(refs)
+}
+
+// Add accumulates other into n (used to aggregate machine totals).
+func (n *Node) Add(other *Node) {
+	n.Instructions += other.Instructions
+	n.Reads += other.Reads
+	n.Writes += other.Writes
+	n.SharedReads += other.SharedReads
+	n.SharedWrites += other.SharedWrites
+	n.AMReads += other.AMReads
+	n.AMReadMisses += other.AMReadMisses
+	n.AMWrites += other.AMWrites
+	n.AMWriteMisses += other.AMWriteMisses
+	n.FillsLocal += other.FillsLocal
+	n.FillsRemote += other.FillsRemote
+	n.FillsCold += other.FillsCold
+	n.SharedCKReads += other.SharedCKReads
+	for i := range n.Injections {
+		n.Injections[i] += other.Injections[i]
+	}
+	n.InjectProbes += other.InjectProbes
+	n.InjectHops += other.InjectHops
+	n.CkptItemsReplicated += other.CkptItemsReplicated
+	n.CkptItemsReused += other.CkptItemsReused
+	n.CkptBytesMoved += other.CkptBytesMoved
+	n.CkptCreateCycles += other.CkptCreateCycles
+	n.CkptCommitCycles += other.CkptCommitCycles
+	n.FlushedLines += other.FlushedLines
+	n.InvalidationsIn += other.InvalidationsIn
+}
+
+// Checkpointing aggregates machine-level recovery-point accounting kept
+// by the coordinator.
+type Checkpointing struct {
+	// Established counts committed recovery points.
+	Established int64
+	// Aborted counts establishments abandoned because of a failure.
+	Aborted int64
+	// Skipped counts establishments not attempted because fewer than
+	// four nodes remained alive (an item needs up to four copies on
+	// distinct nodes during the create phase). The last committed
+	// recovery point keeps protecting the machine.
+	Skipped int64
+	// Recoveries counts rollbacks performed.
+	Recoveries int64
+	// CreateCycles and CommitCycles are the global wall-clock windows
+	// during which processors were stalled by each phase.
+	CreateCycles int64
+	CommitCycles int64
+}
+
+// Run is the complete result of one simulation.
+type Run struct {
+	Protocol      string
+	App           string
+	Nodes         int
+	Cycles        int64 // total simulated execution time
+	ClockHz       int64
+	Ckpt          Checkpointing
+	PerNode       []Node
+	PagesPeak     int // peak frames allocated machine-wide
+	PagesStd      int // naturally-allocated frames (excluding anchor-only)
+	NetMessages   int64
+	NetFlits      int64
+	CacheReads    int64
+	CacheReadMiss int64
+	CacheWrites   int64
+	CacheWriteMis int64
+}
+
+// Total returns the sum of all per-node counters.
+func (r *Run) Total() Node {
+	var t Node
+	for i := range r.PerNode {
+		t.Add(&r.PerNode[i])
+	}
+	return t
+}
+
+// Seconds converts cycles to seconds at the run's clock.
+func (r *Run) Seconds(cycles int64) float64 {
+	return float64(cycles) / float64(r.ClockHz)
+}
+
+// CreateOverhead returns T_create as a fraction of total execution time.
+func (r *Run) CreateOverhead() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ckpt.CreateCycles) / float64(r.Cycles)
+}
+
+// CommitOverhead returns T_commit as a fraction of total execution time.
+func (r *Run) CommitOverhead() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ckpt.CommitCycles) / float64(r.Cycles)
+}
+
+// ReplicationThroughput returns the create-phase data rate in bytes per
+// second, machine-wide (Fig. 9) — bytes moved during establishment over
+// the time spent establishing.
+func (r *Run) ReplicationThroughput() float64 {
+	if r.Ckpt.CreateCycles == 0 {
+		return 0
+	}
+	t := r.Total()
+	return float64(t.CkptBytesMoved) / r.Seconds(r.Ckpt.CreateCycles)
+}
+
+// PerNodeReplicationThroughput returns the create-phase data rate in
+// bytes per second per node (Fig. 4).
+func (r *Run) PerNodeReplicationThroughput() float64 {
+	if r.Nodes == 0 {
+		return 0
+	}
+	return r.ReplicationThroughput() / float64(r.Nodes)
+}
+
+// Overheads is the paper's Fig. 3 decomposition of an ECP run relative to
+// a standard-protocol run of the same workload.
+type Overheads struct {
+	TStandard  int64
+	TCreate    int64
+	TCommit    int64
+	TPollution int64
+	TTotal     int64
+}
+
+// Decompose computes the Fig. 3 decomposition from a standard-protocol
+// run and an ECP run of the same workload: T_pollution is the residual
+// T_ft - T_standard - T_create - T_commit.
+func Decompose(std, ecp *Run) Overheads {
+	o := Overheads{
+		TStandard: std.Cycles,
+		TCreate:   ecp.Ckpt.CreateCycles,
+		TCommit:   ecp.Ckpt.CommitCycles,
+		TTotal:    ecp.Cycles,
+	}
+	o.TPollution = o.TTotal - o.TStandard - o.TCreate - o.TCommit
+	return o
+}
+
+// OverheadFraction returns (T_ft - T_standard) / T_standard.
+func (o Overheads) OverheadFraction() float64 {
+	if o.TStandard == 0 {
+		return 0
+	}
+	return float64(o.TTotal-o.TStandard) / float64(o.TStandard)
+}
+
+// CreateFraction returns T_create / T_standard.
+func (o Overheads) CreateFraction() float64 {
+	if o.TStandard == 0 {
+		return 0
+	}
+	return float64(o.TCreate) / float64(o.TStandard)
+}
+
+// CommitFraction returns T_commit / T_standard.
+func (o Overheads) CommitFraction() float64 {
+	if o.TStandard == 0 {
+		return 0
+	}
+	return float64(o.TCommit) / float64(o.TStandard)
+}
+
+// PollutionFraction returns T_pollution / T_standard.
+func (o Overheads) PollutionFraction() float64 {
+	if o.TStandard == 0 {
+		return 0
+	}
+	return float64(o.TPollution) / float64(o.TStandard)
+}

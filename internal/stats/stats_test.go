@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"testing"
+
+	"coma/internal/proto"
+)
+
+func TestNodeDerivedMetrics(t *testing.T) {
+	n := Node{
+		Reads: 800, Writes: 200,
+		AMReads: 100, AMReadMisses: 10,
+		AMWrites: 50, AMWriteMisses: 25,
+	}
+	if n.References() != 1000 {
+		t.Fatalf("references = %d", n.References())
+	}
+	if n.AMAccesses() != 150 {
+		t.Fatalf("accesses = %d", n.AMAccesses())
+	}
+	if got := n.AMMissRate(); got != 35.0/150 {
+		t.Fatalf("miss rate = %v", got)
+	}
+	if got := n.AMReadMissRate(); got != 0.1 {
+		t.Fatalf("read miss rate = %v", got)
+	}
+	if got := n.AMWriteMissRate(); got != 0.5 {
+		t.Fatalf("write miss rate = %v", got)
+	}
+	if got := n.Per10KRefs(5); got != 50 {
+		t.Fatalf("per10k = %v", got)
+	}
+}
+
+func TestZeroDenominatorsAreSafe(t *testing.T) {
+	var n Node
+	if n.AMMissRate() != 0 || n.AMReadMissRate() != 0 || n.AMWriteMissRate() != 0 || n.Per10KRefs(7) != 0 {
+		t.Fatal("zero-activity node produced non-zero rates")
+	}
+	var r Run
+	if r.CreateOverhead() != 0 || r.CommitOverhead() != 0 || r.ReplicationThroughput() != 0 {
+		t.Fatal("zero run produced non-zero overheads")
+	}
+	var o Overheads
+	if o.OverheadFraction() != 0 || o.CreateFraction() != 0 {
+		t.Fatal("zero overheads produced non-zero fractions")
+	}
+}
+
+func TestInjectionSplits(t *testing.T) {
+	var n Node
+	n.Injections[proto.InjectReadInvCK] = 3
+	n.Injections[proto.InjectWriteInvCK] = 4
+	n.Injections[proto.InjectWriteSharedCK] = 5
+	n.Injections[proto.InjectCheckpoint] = 100
+	if n.TotalInjections() != 112 {
+		t.Fatalf("total = %d", n.TotalInjections())
+	}
+	if n.InjectionsOnReads() != 3 {
+		t.Fatalf("on reads = %d", n.InjectionsOnReads())
+	}
+	if n.InjectionsOnWrites() != 9 {
+		t.Fatalf("on writes = %d", n.InjectionsOnWrites())
+	}
+}
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	a := Node{Instructions: 1, Reads: 2, Writes: 3, SharedReads: 4, SharedWrites: 5,
+		AMReads: 6, AMReadMisses: 7, AMWrites: 8, AMWriteMisses: 9,
+		FillsLocal: 10, FillsRemote: 11, FillsCold: 12, SharedCKReads: 13,
+		InjectProbes: 14, InjectHops: 15, CkptItemsReplicated: 16,
+		CkptItemsReused: 17, CkptBytesMoved: 18, CkptCreateCycles: 19,
+		CkptCommitCycles: 20, FlushedLines: 21, InvalidationsIn: 22}
+	for i := range a.Injections {
+		a.Injections[i] = int64(i + 1)
+	}
+	sum := a
+	sum.Add(&a)
+	if sum.Instructions != 2 || sum.InvalidationsIn != 44 || sum.Injections[0] != 2 {
+		t.Fatalf("Add missed fields: %+v", sum)
+	}
+	if sum.CkptCommitCycles != 40 || sum.FlushedLines != 42 {
+		t.Fatalf("Add missed fields: %+v", sum)
+	}
+}
+
+func TestRunTotalsAndThroughput(t *testing.T) {
+	r := Run{
+		ClockHz: 20_000_000,
+		Cycles:  20_000_000, // one second
+		Nodes:   2,
+		Ckpt:    Checkpointing{CreateCycles: 2_000_000, CommitCycles: 1_000_000},
+		PerNode: []Node{{CkptBytesMoved: 1 << 20}, {CkptBytesMoved: 1 << 20}},
+	}
+	if got := r.Seconds(r.Cycles); got != 1.0 {
+		t.Fatalf("seconds = %v", got)
+	}
+	if got := r.CreateOverhead(); got != 0.1 {
+		t.Fatalf("create overhead = %v", got)
+	}
+	// 2 MiB moved in 0.1 s of establishment = ~21 MB/s machine-wide.
+	want := float64(2<<20) / 0.1
+	if got := r.ReplicationThroughput(); got != want {
+		t.Fatalf("throughput = %v, want %v", got, want)
+	}
+	if got := r.PerNodeReplicationThroughput(); got != want/2 {
+		t.Fatalf("per-node = %v", got)
+	}
+}
+
+func TestDecomposeAddsUp(t *testing.T) {
+	std := &Run{Cycles: 1000}
+	ecp := &Run{Cycles: 1300, Ckpt: Checkpointing{CreateCycles: 120, CommitCycles: 30}}
+	o := Decompose(std, ecp)
+	if o.TPollution != 150 {
+		t.Fatalf("pollution = %d", o.TPollution)
+	}
+	if o.TStandard+o.TCreate+o.TCommit+o.TPollution != o.TTotal {
+		t.Fatal("decomposition does not add up")
+	}
+	if o.OverheadFraction() != 0.3 {
+		t.Fatalf("overhead = %v", o.OverheadFraction())
+	}
+	if o.CreateFraction() != 0.12 || o.CommitFraction() != 0.03 || o.PollutionFraction() != 0.15 {
+		t.Fatalf("fractions: %+v", o)
+	}
+}

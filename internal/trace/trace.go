@@ -1,0 +1,208 @@
+// Package trace records and replays processor reference streams in a
+// compact binary format. Replay makes experiments repeatable at the
+// reference level: the exact same stream can drive the standard protocol
+// and the ECP (the paper compares the two simulators on identical traced
+// applications), or be archived and inspected.
+//
+// Format: magic "COMA", format version, then one varint-encoded record
+// per reference — a kind tag, and for memory references a zig-zag address
+// delta from the previous address of the same class plus a shared flag;
+// instruction bursts carry their length. The whole stream is
+// gzip-compressed.
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"coma/internal/workload"
+)
+
+const magic = "COMA"
+
+// version of the on-disk format.
+const version = 1
+
+const (
+	tagInstr = iota
+	tagRead
+	tagWrite
+	tagBarrier
+	tagEnd
+	flagShared = 1 << 3
+	tagBits    = 3
+)
+
+// Writer encodes a reference stream.
+type Writer struct {
+	gz       *gzip.Writer
+	w        *bufio.Writer
+	buf      [binary.MaxVarintLen64]byte
+	lastAddr uint64
+	count    int64
+	closed   bool
+}
+
+// NewWriter starts a trace on w. Close must be called to flush.
+func NewWriter(w io.Writer) (*Writer, error) {
+	gz := gzip.NewWriter(w)
+	bw := bufio.NewWriter(gz)
+	header := make([]byte, 0, 8)
+	header = append(header, magic...)
+	header = append(header, version)
+	if _, err := bw.Write(header); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{gz: gz, w: bw}, nil
+}
+
+func (t *Writer) putUvarint(v uint64) error {
+	n := binary.PutUvarint(t.buf[:], v)
+	_, err := t.w.Write(t.buf[:n])
+	return err
+}
+
+// Append encodes one reference.
+func (t *Writer) Append(r workload.Ref) error {
+	if t.closed {
+		return errors.New("trace: append after Close")
+	}
+	t.count++
+	switch r.Kind {
+	case workload.Instr:
+		if err := t.putUvarint(tagInstr); err != nil {
+			return err
+		}
+		return t.putUvarint(uint64(r.N))
+	case workload.Read, workload.Write:
+		tag := uint64(tagRead)
+		if r.Kind == workload.Write {
+			tag = tagWrite
+		}
+		if r.Shared {
+			tag |= flagShared
+		}
+		if err := t.putUvarint(tag); err != nil {
+			return err
+		}
+		delta := int64(r.Addr) - int64(t.lastAddr)
+		t.lastAddr = r.Addr
+		n := binary.PutVarint(t.buf[:], delta)
+		_, err := t.w.Write(t.buf[:n])
+		return err
+	case workload.Barrier:
+		return t.putUvarint(tagBarrier)
+	case workload.End:
+		return t.putUvarint(tagEnd)
+	}
+	return fmt.Errorf("trace: unknown reference kind %v", r.Kind)
+}
+
+// Count returns the number of references appended.
+func (t *Writer) Count() int64 { return t.count }
+
+// Close flushes and finalises the trace.
+func (t *Writer) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if err := t.w.Flush(); err != nil {
+		return err
+	}
+	return t.gz.Close()
+}
+
+// Read decodes a whole trace into memory.
+func Read(r io.Reader) ([]workload.Ref, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer gz.Close()
+	br := bufio.NewReader(gz)
+	header := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(header[:len(magic)]) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if header[len(magic)] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", header[len(magic)])
+	}
+	var refs []workload.Ref
+	var lastAddr uint64
+	for {
+		tag, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return refs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		shared := tag&flagShared != 0
+		switch tag &^ flagShared {
+		case tagInstr:
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: %w", err)
+			}
+			refs = append(refs, workload.Ref{Kind: workload.Instr, N: int64(n)})
+		case tagRead, tagWrite:
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: %w", err)
+			}
+			lastAddr = uint64(int64(lastAddr) + delta)
+			kind := workload.Read
+			if tag&^flagShared == tagWrite {
+				kind = workload.Write
+			}
+			refs = append(refs, workload.Ref{Kind: kind, Addr: lastAddr, Shared: shared})
+		case tagBarrier:
+			refs = append(refs, workload.Ref{Kind: workload.Barrier})
+		case tagEnd:
+			refs = append(refs, workload.Ref{Kind: workload.End})
+			return refs, nil
+		default:
+			return nil, fmt.Errorf("trace: unknown tag %d", tag)
+		}
+	}
+}
+
+// Record drains a generator into a trace writer (up to and including its
+// End marker) and returns the reference count written.
+func Record(gen workload.Generator, w io.Writer) (int64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		r := gen.Next()
+		if err := tw.Append(r); err != nil {
+			return tw.Count(), err
+		}
+		if r.Kind == workload.End {
+			break
+		}
+	}
+	return tw.Count(), tw.Close()
+}
+
+// Replay loads a trace as a workload generator (a Script over the decoded
+// references; its snapshot is the stream position, so rollback works).
+func Replay(name string, r io.Reader) (workload.Generator, error) {
+	refs, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) > 0 && refs[len(refs)-1].Kind == workload.End {
+		refs = refs[:len(refs)-1] // Script appends its own End
+	}
+	return workload.NewScript(name, refs), nil
+}

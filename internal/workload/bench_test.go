@@ -1,0 +1,15 @@
+package workload
+
+import "testing"
+
+func BenchmarkAppNext(b *testing.B) {
+	g := Mp3d().NewApp(0, 16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.Next().Kind == End {
+			b.StopTimer()
+			g = Mp3d().NewApp(0, 16, uint64(i))
+			b.StartTimer()
+		}
+	}
+}

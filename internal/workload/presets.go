@@ -1,0 +1,185 @@
+package workload
+
+// The four SPLASH applications of the paper's Table 3, reduced to their
+// aggregate properties. Instruction totals are the paper's values; use
+// Spec.Scale to shorten runs (the working sets stay fixed — the paper's
+// applications are small relative to the 8 MB attraction memories, so no
+// capacity replacement occurs).
+//
+// Working-set sizes keep the paper's relations: Mp3d's set is nine times
+// Barnes' (§4.2.3) and Cholesky's is large (its T_commit is among the
+// biggest); Barnes uses many mostly-read shared bodies (52% of its
+// checkpoint replications avoid data transfers at 5/s); Mp3d and Water
+// use migratory data ("the applications often use migratory data that
+// generate write misses anyway").
+
+// Barnes returns the Barnes-Hut spec (1536 bodies, 11 iterations).
+func Barnes() Spec {
+	return Spec{
+		Name:             "barnes",
+		Instructions:     190_000_000,
+		ReadFrac:         0.184,
+		WriteFrac:        0.107,
+		SharedReadFrac:   0.042,
+		SharedWriteFrac:  0.001,
+		SharedBytes:      256 << 10,
+		PrivateBytes:     48 << 10,
+		ReadOnlyFrac:     0.75,
+		Migratory:        0.05,
+		MigratoryObjects: 64,
+		MigratoryPhase:   2_000,
+		Locality:         0.55,
+		HotBytes:         1 << 10,
+		WindowBytes:      512,
+		DriftInstr:       12_000,
+		Barriers:         11,
+	}
+}
+
+// Cholesky returns the Cholesky spec (bcsstk14).
+func Cholesky() Spec {
+	return Spec{
+		Name:             "cholesky",
+		Instructions:     53_100_000,
+		ReadFrac:         0.233,
+		WriteFrac:        0.062,
+		SharedReadFrac:   0.188,
+		SharedWriteFrac:  0.033,
+		SharedBytes:      1536 << 10,
+		PrivateBytes:     24 << 10,
+		ReadOnlyFrac:     0.30,
+		Migratory:        0.10,
+		MigratoryObjects: 128,
+		MigratoryPhase:   2_500,
+		Locality:         0.45,
+		HotBytes:         1 << 10,
+		WindowBytes:      1 << 10,
+		DriftInstr:       8_000,
+		Barriers:         6,
+	}
+}
+
+// Mp3d returns the Mp3d spec (50 K molecules, 8 steps): the write-heavy,
+// large-working-set stress case of the paper.
+func Mp3d() Spec {
+	return Spec{
+		Name:             "mp3d",
+		Instructions:     48_300_000,
+		ReadFrac:         0.163,
+		WriteFrac:        0.097,
+		SharedReadFrac:   0.131,
+		SharedWriteFrac:  0.083,
+		SharedBytes:      2304 << 10, // 9x Barnes
+		PrivateBytes:     16 << 10,
+		ReadOnlyFrac:     0.05,
+		Migratory:        0.60,
+		MigratoryObjects: 2048,
+		MigratoryPhase:   1_200,
+		Locality:         0.35,
+		HotBytes:         1 << 10,
+		WindowBytes:      1 << 10,
+		DriftInstr:       8_000,
+		Barriers:         8,
+	}
+}
+
+// Water returns the Water spec (120/144 molecules, 2 iterations).
+func Water() Spec {
+	return Spec{
+		Name:             "water",
+		Instructions:     78_600_000,
+		ReadFrac:         0.237,
+		WriteFrac:        0.069,
+		SharedReadFrac:   0.043,
+		SharedWriteFrac:  0.005,
+		SharedBytes:      192 << 10,
+		PrivateBytes:     32 << 10,
+		ReadOnlyFrac:     0.40,
+		Migratory:        0.35,
+		MigratoryObjects: 144,
+		MigratoryPhase:   800,
+		Locality:         0.60,
+		HotBytes:         1 << 10,
+		WindowBytes:      512,
+		DriftInstr:       25_000,
+		Barriers:         2,
+	}
+}
+
+// Splash returns all four Table 3 applications in the paper's order.
+func Splash() []Spec {
+	return []Spec{Barnes(), Cholesky(), Mp3d(), Water()}
+}
+
+// ByName returns the named preset (barnes, cholesky, mp3d, water) or
+// false.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Splash() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	switch name {
+	case "uniform":
+		return Uniform(), true
+	case "private":
+		return Private(), true
+	case "migratory":
+		return MigratoryKernel(), true
+	}
+	return Spec{}, false
+}
+
+// Uniform is a micro-kernel: uniformly random shared reads and writes,
+// no private data, no locality — the worst case for the ECP's pollution
+// effect.
+func Uniform() Spec {
+	return Spec{
+		Name:            "uniform",
+		Instructions:    10_000_000,
+		ReadFrac:        0.20,
+		WriteFrac:       0.10,
+		SharedReadFrac:  0.20,
+		SharedWriteFrac: 0.10,
+		SharedBytes:     512 << 10,
+		PrivateBytes:    0,
+		Locality:        0,
+		Barriers:        4,
+	}
+}
+
+// Private is a micro-kernel with no shared data at all: the ECP's
+// overhead is then almost purely T_create on private pages.
+func Private() Spec {
+	return Spec{
+		Name:         "private",
+		Instructions: 10_000_000,
+		ReadFrac:     0.20,
+		WriteFrac:    0.10,
+		SharedBytes:  itemBytes, // minimum non-zero shared region
+		PrivateBytes: 64 << 10,
+		Locality:     0.5,
+		Barriers:     2,
+	}
+}
+
+// MigratoryKernel is a micro-kernel of purely migratory shared objects:
+// every object bounces between processors, maximising write misses and
+// Shared-CK1 write injections.
+func MigratoryKernel() Spec {
+	return Spec{
+		Name:             "migratory",
+		Instructions:     10_000_000,
+		ReadFrac:         0.15,
+		WriteFrac:        0.15,
+		SharedReadFrac:   0.15,
+		SharedWriteFrac:  0.15,
+		SharedBytes:      256 << 10,
+		PrivateBytes:     0,
+		Migratory:        1.0,
+		MigratoryObjects: 512,
+		MigratoryPhase:   500,
+		Locality:         0,
+		Barriers:         4,
+	}
+}
