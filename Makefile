@@ -1,0 +1,43 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test race vet lint comalint staticcheck bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# comalint: the in-tree protocol/determinism analyzers (see README.md
+# §Static analysis & CI).
+comalint:
+	$(GO) run ./cmd/comalint ./...
+
+# staticcheck is optional locally (the offline dev image does not ship
+# it); CI installs and runs it unconditionally.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+lint: vet comalint staticcheck
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# check is the full tier-1 gate: everything CI enforces that can run
+# offline.
+check: build vet test race comalint

@@ -116,6 +116,12 @@ func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, va
 		e.inject(p, n, item, true, proto.InjectWriteInvCK)
 	case proto.SharedCK1, proto.SharedCK2:
 		e.inject(p, n, item, true, proto.InjectWriteSharedCK)
+	case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive:
+		// Current-state copies go through the miss path below unchanged.
+	case proto.PreCommit1, proto.PreCommit2:
+		// Unreachable: processors are quiesced while pre-commit copies
+		// exist (the establishment runs the machine single-phase).
+		panic(fmt.Sprintf("coherence: write on node %v hit item %d in transient %v", n, item, st))
 	}
 
 	e.ensureFrame(p, n, item)

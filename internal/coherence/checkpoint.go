@@ -64,7 +64,8 @@ func (e *Engine) CreatePhase(p *sim.Process, n proto.NodeID) {
 				c.CkptItemsReplicated++
 			}
 
-		default:
+		case proto.Invalid, proto.Shared, proto.SharedCK1, proto.SharedCK2,
+			proto.InvCK1, proto.InvCK2, proto.PreCommit1, proto.PreCommit2:
 			// The item left the modified set while we were busy with a
 			// previous one (impossible while quiesced, but harmless).
 		}
@@ -97,6 +98,10 @@ func (e *Engine) CommitScan(p *sim.Process, n proto.NodeID) {
 		case proto.InvCK1, proto.InvCK2:
 			s.State = proto.Invalid
 			s.Partner = proto.None
+		case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive,
+			proto.SharedCK1, proto.SharedCK2:
+			// Unmodified current copies and the surviving recovery point
+			// pass through the commit scan untouched.
 		}
 	})
 	e.counters[n].CkptCommitCycles += p.Now() - start
@@ -119,6 +124,9 @@ func (e *Engine) RecoveryScan(p *sim.Process, n proto.NodeID) {
 			s.State = proto.SharedCK1
 		case proto.InvCK2:
 			s.State = proto.SharedCK2
+		case proto.Invalid, proto.SharedCK1, proto.SharedCK2:
+			// Free slots and the unmodified recovery point are already in
+			// their rolled-back state.
 		}
 	})
 }
@@ -143,6 +151,10 @@ func (e *Engine) RebuildDirectory() []proto.ItemID {
 				ck1[item] = n
 			case proto.SharedCK2:
 				ck2[item] = n
+			case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive,
+				proto.InvCK1, proto.InvCK2, proto.PreCommit1, proto.PreCommit2:
+				// Only the committed Shared-CK pairs locate survivors; the
+				// recovery scan already cleared everything else.
 			}
 		})
 	}
@@ -191,6 +203,10 @@ func (e *Engine) ReconfigureNode(p *sim.Process, n proto.NodeID, dead func(proto
 			if dead(s.Partner) {
 				todo = append(todo, work{item, true})
 			}
+		case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive,
+			proto.InvCK1, proto.InvCK2, proto.PreCommit1, proto.PreCommit2:
+			// Reconfiguration runs right after a rollback: only committed
+			// Shared-CK copies can need re-pairing.
 		}
 	})
 	for _, w := range todo {

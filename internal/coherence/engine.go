@@ -15,6 +15,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"coma/internal/am"
 	"coma/internal/config"
@@ -334,10 +335,17 @@ func (e *Engine) readable(st proto.State) bool {
 // and deadlock diagnostics).
 func (e *Engine) PendingAcks() int { return len(e.acks) }
 
-// LockQueueDump describes held item locks for deadlock diagnostics.
+// LockQueueDump describes held item locks for deadlock diagnostics, in
+// item order so repeated dumps of the same state compare equal.
 func (e *Engine) LockQueueDump() string {
+	items := make([]proto.ItemID, 0, len(e.locks))
+	for item := range e.locks {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 	s := ""
-	for item, l := range e.locks {
+	for _, item := range items {
+		l := e.locks[item]
 		s += fmt.Sprintf("item %d held=%v waiters=%d; ", item, l.held, len(l.q))
 	}
 	return s

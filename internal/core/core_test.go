@@ -287,6 +287,20 @@ func TestInvariantCheckerCatchesSharerMismatch(t *testing.T) {
 	}
 }
 
+func TestInvariantCheckerNamesPhantomSharer(t *testing.T) {
+	r := newRig(t, 16)
+	r.run(func(p *sim.Process) {
+		r.coh.WriteItem(p, 0, 100, 1)
+		r.coh.ReadItem(p, 3, 100)
+	})
+	r.dir.Lookup(100).Sharers.Add(9) // forge: node 9 holds no copy at all
+	err := CheckInvariants(r.coh)
+	if err == nil || !strings.Contains(err.Error(), "holds no Shared copy") ||
+		!strings.Contains(err.Error(), "9") {
+		t.Fatalf("err = %v, want phantom-sharer violation naming node 9", err)
+	}
+}
+
 func TestReconfigureCountsRepairs(t *testing.T) {
 	r := newRig(t, 16)
 	var repaired int

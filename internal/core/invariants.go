@@ -119,23 +119,15 @@ func CheckInvariants(coh *coherence.Engine) error {
 					return fmt.Errorf("item %d: node %v holds Shared but is not in the sharing set", it, s)
 				}
 			}
-			count := 0
-			entry.Sharers.ForEach(func(s proto.NodeID) {
-				count++
-				found := false
-				for _, h := range cs.shared {
-					if h == s {
-						found = true
-					}
+			holders := make(map[proto.NodeID]bool, len(cs.shared))
+			for _, h := range cs.shared {
+				holders[h] = true
+			}
+			for _, s := range entry.Sharers.Members() {
+				if !holders[s] {
+					return fmt.Errorf("item %d: node %v is in the sharing set but holds no Shared copy",
+						it, s)
 				}
-				if !found {
-					// Report via count mismatch below (ForEach cannot
-					// return an error).
-					count += 1 << 20
-				}
-			})
-			if count != len(cs.shared) {
-				return fmt.Errorf("item %d: sharing set does not match Shared copies", it)
 			}
 		}
 	}

@@ -1,0 +1,51 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API. The build environment for this
+// repository is fully offline (no module proxy), so the real x/tools
+// packages cannot be fetched; this package reimplements the small slice
+// of the API the comalint analyzers need — Analyzer, Pass and Diagnostic
+// — with the same field names and semantics, so the analyzers port to
+// the upstream framework (singlechecker/multichecker style) unchanged if
+// x/tools ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line. By convention it is a single lowercase word.
+	Name string
+	// Doc is the help text.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report publishes a diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

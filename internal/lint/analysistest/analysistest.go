@@ -1,0 +1,149 @@
+// Package analysistest runs an analyzer against a fixture directory and
+// compares its diagnostics with `// want` annotations in the fixture
+// source, in the style of golang.org/x/tools/go/analysis/analysistest
+// (reimplemented on the standard library for the offline build).
+//
+// Annotation syntax: a comment on the line the diagnostic is expected,
+// holding one double-quoted regular expression per expected diagnostic:
+//
+//	switch s { // want `does not cover SharedCK2` `does not cover InvCK1`
+//
+// Both `//  want "rx"` and backquoted forms are accepted. Lines with no
+// annotation must produce no diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"coma/internal/lint/analysis"
+	"coma/internal/lint/loader"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+var argRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run loads dir as one package (resolving imports through the enclosing
+// module), applies the analyzer, and reports mismatches through t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := loader.New(moduleDir)
+	pkg, err := l.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, file := range pkg.GoFiles {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := key{filepath.Base(file), i + 1}
+			for _, q := range argRe.FindAllString(m[1], -1) {
+				pat := q[1 : len(q)-1]
+				if q[0] == '"' {
+					pat = strings.ReplaceAll(pat, `\"`, `"`)
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", k.file, k.line, pat, err)
+				}
+				wants[k] = append(wants[k], rx)
+			}
+		}
+	}
+
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+	for _, d := range got {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for i, rx := range wants[k] {
+			if rx != nil && rx.MatchString(d.Message) {
+				wants[k][i] = nil // each expectation matches one diagnostic
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(pos), d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, rx := range wants[k] {
+			if rx != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+			}
+		}
+	}
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

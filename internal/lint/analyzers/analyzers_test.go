@@ -1,0 +1,51 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coma/internal/lint/analysistest"
+	"coma/internal/lint/analyzers"
+)
+
+func TestExhaustiveState(t *testing.T) {
+	analysistest.Run(t, analyzers.ExhaustiveState, "testdata/src/exhaustivestate")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analyzers.Determinism, "testdata/src/determinism")
+}
+
+func TestSimBlocking(t *testing.T) {
+	analysistest.Run(t, analyzers.SimBlocking, "testdata/src/simblocking")
+}
+
+func TestDeterminismScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"coma/internal/sim":       true,
+		"coma/internal/coherence": true,
+		"coma/internal/core":      true,
+		"coma/internal/node":      true,
+		"coma/internal/machine":   false,
+		"coma/internal/proto":     false,
+		"coma/cmd/comasim":        false,
+	} {
+		if got := analyzers.DeterminismScope(path); got != want {
+			t.Errorf("DeterminismScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestSimBlockingScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"coma/internal/coherence": true,
+		"coma/internal/machine":   true,
+		"coma/internal/snoop":     true,
+		"coma/internal/sim":       false, // implements the primitives
+		"coma/internal/proto":     false,
+		"coma/cmd/comasim":        false,
+	} {
+		if got := analyzers.SimBlockingScope(path); got != want {
+			t.Errorf("SimBlockingScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"coma/internal/lint/analysis"
+)
+
+// Determinism reports constructs that make a simulation run depend on
+// wall-clock time, global PRNG state, or Go map iteration order — the
+// classic nondeterministic-replay bugs:
+//
+//   - calls to time.Now / time.Since / time.Until (simulated time is the
+//     sim.Engine clock);
+//   - use of the global math/rand (and math/rand/v2) generators — every
+//     stochastic choice must draw from a seed-derived sim.RNG; the file
+//     internal/sim/rng.go is the single allowlisted home for PRNG
+//     plumbing;
+//   - ranging over a map while appending to a slice, concatenating onto
+//     a string, sending on a channel, or scheduling simulator work in
+//     the loop body, unless the collected slice is sorted before use.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock time, global math/rand and order-sensitive " +
+		"map iteration in simulator packages",
+	Run: runDeterminism,
+}
+
+// DeterminismScope reports whether the analyzer applies to a package:
+// the deterministic core of the simulator.
+func DeterminismScope(pkgPath string) bool {
+	switch {
+	case strings.HasSuffix(pkgPath, "internal/sim"),
+		strings.HasSuffix(pkgPath, "internal/coherence"),
+		strings.HasSuffix(pkgPath, "internal/core"),
+		strings.HasSuffix(pkgPath, "internal/node"):
+		return true
+	}
+	return false
+}
+
+// rngFile is the one file allowed to touch PRNG internals.
+const rngFile = "rng.go"
+
+// schedulingMethods are method names whose call inside a map-range body
+// means per-iteration ordered work (event scheduling, message sends,
+// process wakeups).
+var schedulingMethods = map[string]bool{
+	"At": true, "After": true, "Send": true, "Spawn": true,
+	"Schedule": true, "Post": true, "Publish": true,
+	"WakeNow": true, "Complete": true,
+}
+
+func runDeterminism(pass *analysis.Pass) (interface{}, error) {
+	for i, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) == rngFile {
+			continue
+		}
+		_ = i
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkBannedCall(pass, n)
+			case *ast.FuncDecl:
+				checkMapRanges(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBannedCall flags wall-clock and global-PRNG calls.
+func checkBannedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. on *rand.Rand or sim.RNG) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"time.%s in simulator code: use the sim.Engine clock", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(),
+				"global %s.%s: derive a sim.RNG from the run seed (only %s may touch PRNG state)",
+				filepath.Base(fn.Pkg().Path()), fn.Name(), rngFile)
+		}
+	}
+}
+
+// checkMapRanges walks one function body looking for range-over-map
+// loops whose bodies do order-sensitive work.
+func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	// Names passed to a sort call anywhere in the function, with the
+	// position of the call: an append inside a map range is fine if the
+	// destination slice is sorted after the loop.
+	sorted := map[string]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		sortCall := pkg.Name == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort")
+		if pkg.Name == "sort" {
+			switch sel.Sel.Name {
+			case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+				sortCall = true
+			}
+		}
+		if sortCall {
+			for _, arg := range call.Args {
+				if name := rootIdent(arg); name != "" {
+					sorted[name] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, rng, sorted)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *analysis.Pass, rng *ast.RangeStmt, sorted map[string]token.Pos) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside range over map: iteration order is nondeterministic")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, n, sorted)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && schedulingMethods[sel.Sel.Name] {
+				pass.Reportf(n.Pos(),
+					"%s call inside range over map: events fire in map order; "+
+						"collect and sort keys first", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags `x = append(x, ...)` into a slice that is
+// never sorted afterwards, and `s += ...` string building, inside a map
+// range.
+func checkMapRangeAssign(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, sorted map[string]token.Pos) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if tv, ok := pass.TypesInfo.Types[as.Lhs[0]]; ok {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				pass.Reportf(as.Pos(),
+					"string concatenation inside range over map: output order is nondeterministic")
+			}
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if obj, found := pass.TypesInfo.Uses[id]; found {
+			if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+				continue
+			}
+		}
+		dest := ""
+		if i < len(as.Lhs) {
+			dest = rootIdent(as.Lhs[i])
+		}
+		if pos, ok := sorted[dest]; ok && pos > rng.End() {
+			continue // collected, then sorted: the canonical fix
+		}
+		pass.Reportf(call.Pos(),
+			"append inside range over map without a later sort: element order is nondeterministic")
+	}
+}
+
+// rootIdent returns the base identifier name of an expression like
+// `x`, `&x`, `x[i]` or `x.f`, or "" if there is none.
+func rootIdent(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package analyzers holds the comalint analyzers: machine-checked
+// protocol and determinism rules the compiler cannot enforce. See
+// README.md §Static analysis for the policy behind each one.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"coma/internal/lint/analysis"
+)
+
+// ExhaustiveState reports switches over internal/proto enumeration types
+// (proto.State, proto.MsgKind, proto.InjectCause, ...) that neither
+// cover every declared constant nor carry a default clause that fails
+// loudly (panics or returns a non-nil error). The Extended Coherence
+// Protocol adds seven states on top of the COMA-F four; a silently
+// unhandled state is exactly the kind of bug that corrupts a recovery
+// pair without tripping any test.
+var ExhaustiveState = &analysis.Analyzer{
+	Name: "exhaustivestate",
+	Doc: "switches over internal/proto enum types must cover every constant " +
+		"or fail loudly in default",
+	Run: runExhaustiveState,
+}
+
+// enumPackageSuffix identifies the package whose enumeration types the
+// analyzer polices.
+const enumPackageSuffix = "internal/proto"
+
+// sentinelConst reports whether a declared constant is a count sentinel
+// (numStates, NumInjectCauses, ...) rather than a real enumerator.
+func sentinelConst(name string) bool {
+	return strings.HasPrefix(name, "num") || strings.HasPrefix(name, "Num")
+}
+
+func runExhaustiveState(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), enumPackageSuffix) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+
+	// Collect the declared enumerators of the type: every package-level
+	// constant of exactly this type, minus count sentinels and minus
+	// constants the switching package cannot name.
+	samePkg := pass.Pkg != nil && pass.Pkg.Path() == obj.Pkg().Path()
+	type enumerator struct {
+		name  string
+		value string
+	}
+	var enums []enumerator
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if sentinelConst(name) || (!samePkg && !c.Exported()) {
+			continue
+		}
+		enums = append(enums, enumerator{name: name, value: c.Val().ExactString()})
+	}
+	if len(enums) < 2 {
+		return // not an enumeration (NodeID's None, ItemID's NoItem, ...)
+	}
+
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if ev, ok := pass.TypesInfo.Types[e]; ok && ev.Value != nil {
+				covered[ev.Value.ExactString()] = true
+			} else {
+				// A non-constant case expression makes coverage
+				// undecidable; treat the switch as out of scope.
+				return
+			}
+		}
+	}
+
+	var missing []string
+	for _, e := range enums {
+		if !covered[e.value] {
+			missing = append(missing, e.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if defaultClause != nil && failsLoudly(pass, defaultClause) {
+		return
+	}
+	tn := obj.Pkg().Name() + "." + obj.Name()
+	for _, name := range missing {
+		if defaultClause != nil {
+			pass.Reportf(sw.Switch,
+				"switch on %s does not cover %s and its default does not fail loudly",
+				tn, name)
+		} else {
+			pass.Reportf(sw.Switch, "switch on %s does not cover %s", tn, name)
+		}
+	}
+}
+
+// failsLoudly reports whether a default clause panics, calls a
+// Fatal-style function, or returns a non-nil error.
+func failsLoudly(pass *analysis.Pass, cc *ast.CaseClause) bool {
+	loud := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch fun := n.Fun.(type) {
+				case *ast.Ident:
+					if fun.Name == "panic" {
+						loud = true
+					}
+				case *ast.SelectorExpr:
+					if strings.HasPrefix(fun.Sel.Name, "Fatal") {
+						loud = true
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if id, ok := res.(*ast.Ident); ok && id.Name == "nil" {
+						continue
+					}
+					if tv, ok := pass.TypesInfo.Types[res]; ok && isErrorType(tv.Type) {
+						loud = true
+					}
+				}
+			}
+			return !loud
+		})
+		if loud {
+			return true
+		}
+	}
+	return false
+}
+
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorInterface)
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "math/rand"
+
+// A file named rng.go is the allowlisted home for PRNG plumbing: global
+// math/rand use here must NOT be reported.
+func allowlistedGlobalRand() int {
+	return rand.Int()
+}

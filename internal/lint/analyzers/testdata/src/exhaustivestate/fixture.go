@@ -1,0 +1,76 @@
+// Fixture for the exhaustivestate analyzer. Good switches (full
+// coverage, or a default that panics / returns an error) must stay
+// silent; switches that can silently swallow a protocol state must be
+// flagged once per missing constant.
+package fixture
+
+import (
+	"fmt"
+
+	"coma/internal/proto"
+)
+
+// Full coverage of all ten ECP states: silent.
+func readable(s proto.State) bool {
+	switch s {
+	case proto.Shared, proto.MasterShared, proto.Exclusive,
+		proto.SharedCK1, proto.SharedCK2:
+		return true
+	case proto.Invalid, proto.InvCK1, proto.InvCK2,
+		proto.PreCommit1, proto.PreCommit2:
+		return false
+	}
+	panic("unreachable")
+}
+
+// Partial coverage but a loud (panicking) default: silent.
+func class(k proto.MsgKind) int {
+	switch k {
+	case proto.MsgReadReq, proto.MsgWriteReq:
+		return 0
+	default:
+		panic("fixture: unhandled kind " + k.String())
+	}
+}
+
+// Partial coverage but the default returns a non-nil error: silent.
+func describe(s proto.State) (string, error) {
+	switch s {
+	case proto.Invalid:
+		return "invalid", nil
+	default:
+		return "", fmt.Errorf("fixture: unhandled state %v", s)
+	}
+}
+
+// A non-constant case expression makes coverage undecidable: silent.
+func dynamic(s, other proto.State) bool {
+	switch s {
+	case other:
+		return true
+	}
+	return false
+}
+
+// Missing two states, no default: one diagnostic per missing constant.
+func badNoDefault(s proto.State) bool {
+	switch s { // want `switch on proto.State does not cover PreCommit1` `switch on proto.State does not cover PreCommit2`
+	case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive:
+		return true
+	case proto.SharedCK1, proto.SharedCK2, proto.InvCK1, proto.InvCK2:
+		return false
+	}
+	return false
+}
+
+// Missing a state with a default that silently swallows it.
+func badSilentDefault(s proto.State) bool {
+	switch s { // want `switch on proto.State does not cover SharedCK2 and its default does not fail loudly`
+	case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive,
+		proto.SharedCK1, proto.InvCK1, proto.InvCK2,
+		proto.PreCommit1, proto.PreCommit2:
+		return true
+	default:
+		return false
+	}
+}

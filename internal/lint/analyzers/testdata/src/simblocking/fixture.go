@@ -1,0 +1,49 @@
+// Fixture for the simblocking analyzer: raw channel operations, select,
+// goroutines, and blocking sync/time calls must be flagged in
+// simulated-process code; non-blocking sync use stays silent.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+func recvBlocks(ch chan int) int {
+	return <-ch // want `raw channel receive blocks the real goroutine`
+}
+
+func sendBlocks(ch chan int) {
+	ch <- 1 // want `raw channel send can block the real goroutine`
+}
+
+func selectBlocks(a, b chan int) {
+	select { // want `select blocks on real channels`
+	case <-a: // want `raw channel receive blocks the real goroutine`
+	case <-b: // want `raw channel receive blocks the real goroutine`
+	}
+}
+
+func goForks() {
+	go func() {}() // want `raw goroutine escapes the engine's wake/yield handshake`
+}
+
+func wgWait(wg *sync.WaitGroup) {
+	wg.Wait() // want `sync.WaitGroup.Wait blocks outside simulated time`
+}
+
+func condWait(c *sync.Cond) {
+	c.Wait() // want `sync.Cond.Wait blocks outside simulated time`
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `time.Sleep stalls the real goroutine`
+}
+
+// Non-blocking sync and time use is fine.
+func fine(mu *sync.Mutex, wg *sync.WaitGroup) time.Duration {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Add(1)
+	wg.Done()
+	return time.Millisecond
+}

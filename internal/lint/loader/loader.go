@@ -1,0 +1,256 @@
+// Package loader type-checks Go packages from source using only the
+// standard library. It drives `go list -json -deps` to enumerate a
+// package pattern's full dependency closure (the output is topologically
+// sorted, dependencies first), parses every package's files and
+// type-checks them in order, so analyzers get complete types.Info even
+// for packages that import the standard library.
+//
+// This replaces golang.org/x/tools/go/packages, which is unavailable in
+// the offline build environment.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	// GoFiles are the absolute paths of the parsed files, parallel to
+	// Files.
+	GoFiles []string
+	Types   *types.Package
+	Info    *types.Info
+	// DepOnly marks packages loaded only because something in the
+	// requested pattern imports them.
+	DepOnly bool
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Loader caches type-checked packages across Load calls.
+type Loader struct {
+	// ModuleDir is the directory `go list` runs in (the module root).
+	ModuleDir string
+
+	fset  *token.FileSet
+	types map[string]*types.Package // completed packages by import path
+	meta  map[string]listedPkg
+}
+
+// New returns a loader rooted at the given module directory.
+func New(moduleDir string) *Loader {
+	return &Loader{
+		ModuleDir: moduleDir,
+		fset:      token.NewFileSet(),
+		types:     map[string]*types.Package{"unsafe": types.Unsafe},
+		meta:      make(map[string]listedPkg),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load type-checks the packages matching the go list patterns (for
+// example "./..." or an import path) plus their dependency closure, and
+// returns the matched packages in stable (import path) order. Packages
+// pulled in only as dependencies are type-checked but not returned.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	metas, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, m := range metas {
+		if m.DepOnly {
+			if _, err := l.check(m.ImportPath); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		p, err := l.loadOne(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadDir parses and type-checks the .go files of one directory as a
+// single package outside the `go list` universe (an analysistest
+// fixture). Its imports are resolved through the module rooted at
+// ModuleDir, so fixtures may import both standard-library and in-module
+// packages.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	m := listedPkg{
+		ImportPath: "fixture/" + filepath.Base(dir),
+		Dir:        dir,
+		GoFiles:    nil, // absolute paths below
+	}
+	for _, f := range files {
+		m.GoFiles = append(m.GoFiles, filepath.Base(f))
+	}
+	return l.loadOne(m)
+}
+
+// goList runs `go list -json -deps` and decodes the package stream.
+func (l *Loader) goList(patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleDir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var metas []listedPkg
+	for dec.More() {
+		var m listedPkg
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		metas = append(metas, m)
+		l.meta[m.ImportPath] = m
+	}
+	return metas, nil
+}
+
+// check returns the types.Package for an import path, type-checking it
+// (and, recursively, its imports) on first use.
+func (l *Loader) check(path string) (*types.Package, error) {
+	if p, ok := l.types[path]; ok {
+		return p, nil
+	}
+	m, ok := l.meta[path]
+	if !ok {
+		metas, err := l.goList([]string{path})
+		if err != nil {
+			return nil, err
+		}
+		for _, mm := range metas {
+			if mm.ImportPath == path {
+				m = mm
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("loader: go list did not resolve %q", path)
+		}
+	}
+	p, err := l.loadOne(m)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// loadOne parses and type-checks one listed package.
+func (l *Loader) loadOne(m listedPkg) (*Package, error) {
+	if len(m.CgoFiles) > 0 {
+		// Cgo packages cannot be type-checked from source without the
+		// cgo preprocessing step; fall back to the compiler importer
+		// (which may also fail offline, but nothing in this module pulls
+		// in cgo on linux).
+		p, err := importer.Default().Import(m.ImportPath)
+		if err != nil {
+			return nil, fmt.Errorf("loader: cgo package %s: %v", m.ImportPath, err)
+		}
+		l.types[m.ImportPath] = p
+		return &Package{PkgPath: m.ImportPath, Dir: m.Dir, Fset: l.fset, Types: p, DepOnly: m.DepOnly}, nil
+	}
+
+	pkg := &Package{
+		PkgPath: m.ImportPath,
+		Dir:     m.Dir,
+		Fset:    l.fset,
+		DepOnly: m.DepOnly,
+	}
+	for _, name := range m.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(m.Dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.GoFiles = append(pkg.GoFiles, path)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			return l.check(path)
+		}),
+		// The standard library occasionally uses constructs go/types
+		// accepts only with diagnostics downgraded (e.g. assembly-backed
+		// declarations). Collect but do not fail on errors in packages
+		// outside the module; fail loudly inside it.
+		Error: func(err error) {},
+	}
+	tpkg, err := conf.Check(m.ImportPath, l.fset, pkg.Files, info)
+	if err != nil && !m.Standard && !m.DepOnly {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", m.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.types[m.ImportPath] = tpkg
+	return pkg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -48,8 +48,13 @@ func SubnetOf(kind proto.MsgKind) Subnet {
 		proto.MsgInjectAck, proto.MsgPreCommitUpgradeAck,
 		proto.MsgCkptCreateDone, proto.MsgCkptCommitDone, proto.MsgRecoverDone:
 		return ReplyNet
-	default:
+	case proto.MsgReadReq, proto.MsgWriteReq, proto.MsgReadFwd, proto.MsgWriteFwd,
+		proto.MsgInvalidate, proto.MsgInjectProbe, proto.MsgHomeUpdate,
+		proto.MsgPageAlloc, proto.MsgPartnerUpdate, proto.MsgPreCommitUpgrade,
+		proto.MsgCkptPrepare, proto.MsgCkptCommit, proto.MsgRecover:
 		return RequestNet
+	default:
+		panic("mesh: no subnet for message kind " + kind.String())
 	}
 }
 

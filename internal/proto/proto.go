@@ -101,8 +101,10 @@ func (s State) Readable() bool {
 	switch s {
 	case Shared, MasterShared, Exclusive, SharedCK1, SharedCK2:
 		return true
+	case Invalid, InvCK1, InvCK2, PreCommit1, PreCommit2:
+		return false
 	}
-	return false
+	panic("proto: Readable of unknown state " + s.String())
 }
 
 // Writable reports whether the local processor may write this copy
@@ -117,8 +119,10 @@ func (s State) Owner() bool {
 	switch s {
 	case Exclusive, MasterShared, SharedCK1, PreCommit1:
 		return true
+	case Invalid, Shared, SharedCK2, InvCK1, InvCK2, PreCommit2:
+		return false
 	}
-	return false
+	panic("proto: Owner of unknown state " + s.String())
 }
 
 // Recovery reports whether the copy belongs to a recovery point (committed
@@ -127,8 +131,10 @@ func (s State) Recovery() bool {
 	switch s {
 	case SharedCK1, SharedCK2, InvCK1, InvCK2, PreCommit1, PreCommit2:
 		return true
+	case Invalid, Shared, MasterShared, Exclusive:
+		return false
 	}
-	return false
+	panic("proto: Recovery of unknown state " + s.String())
 }
 
 // CheckpointCommitted reports whether the copy belongs to the last
@@ -137,8 +143,10 @@ func (s State) CheckpointCommitted() bool {
 	switch s {
 	case SharedCK1, SharedCK2, InvCK1, InvCK2:
 		return true
+	case Invalid, Shared, MasterShared, Exclusive, PreCommit1, PreCommit2:
+		return false
 	}
-	return false
+	panic("proto: CheckpointCommitted of unknown state " + s.String())
 }
 
 // Current reports whether the copy belongs to the current computation
@@ -149,8 +157,10 @@ func (s State) Current() bool {
 	switch s {
 	case Shared, MasterShared, Exclusive:
 		return true
+	case Invalid, SharedCK1, SharedCK2, InvCK1, InvCK2, PreCommit1, PreCommit2:
+		return false
 	}
-	return false
+	panic("proto: Current of unknown state " + s.String())
 }
 
 // Replaceable reports whether an AM may silently reuse the slot holding a
@@ -185,8 +195,9 @@ func (s State) Partner() State {
 		return PreCommit2
 	case PreCommit2:
 		return PreCommit1
+	default:
+		panic("proto: Partner of non-recovery state " + s.String())
 	}
-	panic("proto: Partner of non-recovery state " + s.String())
 }
 
 // MsgKind enumerates the message types exchanged by node controllers.

@@ -121,6 +121,10 @@ func (m *Machine) commitNode(n proto.NodeID) {
 		case proto.InvCK1, proto.InvCK2:
 			s.State = proto.Invalid
 			s.Partner = proto.None
+		case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive,
+			proto.SharedCK1, proto.SharedCK2:
+			// Unmodified current copies and the surviving recovery point
+			// pass through the commit scan untouched.
 		}
 	})
 }
@@ -157,6 +161,9 @@ func (m *Machine) recover(p *sim.Process, f proto.NodeID) {
 				s.State = proto.SharedCK1
 			case proto.InvCK2:
 				s.State = proto.SharedCK2
+			case proto.Invalid, proto.SharedCK1, proto.SharedCK2:
+				// Free slots and the unmodified recovery point are already
+				// in their rolled-back state.
 			}
 		})
 	}
@@ -235,6 +242,9 @@ func (m *Machine) CheckRecoveryPairs() error {
 				get(it).ck1 = n
 			case proto.SharedCK2, proto.InvCK2:
 				get(it).ck2 = n
+			case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive,
+				proto.PreCommit1, proto.PreCommit2:
+				// Only committed recovery pairs are audited here.
 			}
 		})
 	}

@@ -111,6 +111,14 @@ func (m *Machine) write(p *sim.Process, n proto.NodeID, item proto.ItemID, value
 		case proto.SharedCK2:
 			m.ams[t].SetState(item, proto.InvCK2)
 			m.c[t].InvalidationsIn++
+		case proto.Invalid, proto.InvCK1, proto.InvCK2:
+			// No current copy to invalidate; Inv-CK pairs stay put for a
+			// possible rollback.
+		case proto.PreCommit1, proto.PreCommit2:
+			// Unreachable: the bus quiesces processors for the whole
+			// establishment, so no write snoops transient copies.
+			panic(fmt.Sprintf("snoop: write to item %d snooped a %v copy on node %v",
+				item, m.ams[t].State(item), t))
 		}
 	}
 	// The local slot was freed above (Shared handled by the snoop, CK
@@ -195,8 +203,13 @@ func (m *Machine) evict(p *sim.Process, n proto.NodeID, page proto.PageID) {
 			cause = proto.InjectReplaceSharedCK
 		case proto.InvCK1, proto.InvCK2:
 			cause = proto.InjectReplaceInvCK
-		default:
-			continue
+		case proto.Invalid, proto.Shared:
+			continue // replaceable copies are simply dropped with the frame
+		case proto.PreCommit1, proto.PreCommit2:
+			// Dropping a transient pre-commit copy would corrupt the
+			// recovery point being established; evictions cannot run
+			// while the bus is quiesced for an establishment.
+			panic(fmt.Sprintf("snoop: evicting item %d in transient %v", it, st))
 		}
 		m.inject(p, n, it, cause)
 	}
