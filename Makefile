@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint comalint staticcheck bench check
+.PHONY: all build test race vet lint comalint staticcheck bench bench-json check
 
 all: check
 
@@ -37,6 +37,14 @@ lint: vet comalint staticcheck
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# bench-json runs the small Bench campaign and writes the
+# machine-readable perf record (per-table wall time, runs, simulated
+# cycles, kernel events, events/sec). CI uploads it as an artifact; the
+# committed BENCH_*.json files track the record across changes.
+bench-json:
+	$(GO) run ./cmd/comabench -params bench -json BENCH_results.json >/dev/null
+	@cat BENCH_results.json
 
 # check is the full tier-1 gate: everything CI enforces that can run
 # offline.

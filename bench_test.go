@@ -84,6 +84,34 @@ func BenchmarkFig11InjectionScalability(b *testing.B) {
 	benchTable(b, "fig11", func(s *ExperimentSuite) (*ReportTable, error) { return s.Fig11() })
 }
 
+// Campaign benchmarks: the full frequency study (Fig. 3–7) rendered
+// through one suite, serial versus pooled. On a multi-core runner the
+// parallel variant shows the campaign-level speedup; the rendered tables
+// are byte-identical either way (TestParallelMatchesSerial in
+// internal/experiments asserts this).
+
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	ids := []string{"fig3", "fig4", "fig5", "fig6", "fig7"}
+	for i := 0; i < b.N; i++ {
+		p := BenchExperiments()
+		p.Workers = workers
+		suite := NewExperiments(p)
+		suite.Plan(ids...)
+		gens := []func() (*ReportTable, error){
+			suite.Fig3, suite.Fig4, suite.Fig5, suite.Fig6, suite.Fig7,
+		}
+		for _, gen := range gens {
+			if _, err := gen(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCampaignFrequencyStudySerial(b *testing.B)   { benchCampaign(b, 1) }
+func BenchmarkCampaignFrequencyStudyParallel(b *testing.B) { benchCampaign(b, 0) }
+
 // Component micro-benchmarks: the cost of the simulator itself.
 
 func BenchmarkStandardRunMp3d(b *testing.B) {

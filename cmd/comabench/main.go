@@ -2,30 +2,48 @@
 // figure (Tables 1–3, Figures 3–11), printed as aligned text and
 // optionally written as CSV files for plotting.
 //
+// The campaign's distinct simulations are planned up front and executed
+// on a bounded worker pool (-workers, default GOMAXPROCS); tables render
+// in paper order as their runs complete. Output is byte-identical for
+// every worker count.
+//
 //	comabench                      # quick campaign (~minutes)
 //	comabench -params full         # paper-scale budgets and 5-400/s sweep
 //	comabench -only fig3,fig6      # a subset
 //	comabench -csv out/            # also write out/<id>.csv
+//	comabench -workers 1           # strictly serial execution
+//	comabench -json bench.json     # machine-readable perf record
+//	comabench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"coma"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		params  = flag.String("params", "quick", "campaign scale: bench, quick or full")
-		only    = flag.String("only", "", "comma-separated subset: table1..table3, fig3..fig11")
-		csvDir  = flag.String("csv", "", "directory to write <id>.csv files into")
-		nodes   = flag.Int("nodes", 0, "override machine size for the frequency study")
-		seed    = flag.Uint64("seed", 0, "override campaign seed")
-		verbose = flag.Bool("v", false, "print one line per simulation run")
+		params     = flag.String("params", "quick", "campaign scale: bench, quick or full")
+		only       = flag.String("only", "", "comma-separated subset: table1..table3, fig3..fig11, ablation")
+		csvDir     = flag.String("csv", "", "directory to write <id>.csv files into")
+		nodes      = flag.Int("nodes", 0, "override machine size for the frequency study")
+		seed       = flag.Uint64("seed", 0, "override campaign seed")
+		workers    = flag.Int("workers", 0, "max simulations in flight (0: GOMAXPROCS, 1: serial)")
+		jsonPath   = flag.String("json", "", "write a machine-readable perf record to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		verbose    = flag.Bool("v", false, "print one line per simulation run")
 	)
 	flag.Parse()
 
@@ -39,7 +57,7 @@ func main() {
 		p = coma.FullExperiments()
 	default:
 		fmt.Fprintf(os.Stderr, "comabench: unknown params %q\n", *params)
-		os.Exit(2)
+		return 2
 	}
 	if *nodes > 0 {
 		p.Nodes = *nodes
@@ -47,8 +65,23 @@ func main() {
 	if *seed > 0 {
 		p.Seed = *seed
 	}
+	p.Workers = *workers
 	if *verbose {
 		p.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	suite := coma.NewExperiments(p)
@@ -70,32 +103,129 @@ func main() {
 		{"fig9", suite.Fig9}, {"fig10", suite.Fig10}, {"fig11", suite.Fig11},
 		{"ablation", suite.Ablation},
 	}
-	ran := 0
+
+	// Plan the selected campaign: start every distinct simulation on the
+	// worker pool before rendering the first table.
+	var selected []string
+	for _, g := range gens {
+		if len(wanted) == 0 || wanted[g.id] {
+			selected = append(selected, g.id)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "comabench: nothing selected (check -only)")
+		return 2
+	}
+	campaignStart := time.Now()
+	suite.Plan(selected...)
+
+	perf := perfRecord{
+		Schema:     "coma-bench-campaign/v1",
+		Params:     *params,
+		Workers:    p.Workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
 	for _, g := range gens {
 		if len(wanted) > 0 && !wanted[g.id] {
 			continue
 		}
+		tableStart := time.Now()
 		t, err := g.fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "comabench: %s: %v\n", g.id, err)
-			os.Exit(1)
+			return 1
 		}
+		perf.Tables = append(perf.Tables, tablePerf{
+			ID:     g.id,
+			WallMS: ms(time.Since(tableStart)),
+		})
 		if err := t.Fprint(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, t); err != nil {
 				fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		ran++
 	}
-	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "comabench: nothing selected (check -only)")
-		os.Exit(2)
+
+	wall := time.Since(campaignStart)
+	runs, cycles, events := suite.Totals()
+	perf.Totals = totalsPerf{
+		Runs:         runs,
+		WallMS:       ms(wall),
+		SimCycles:    cycles,
+		Events:       events,
+		EventsPerSec: float64(events) / wall.Seconds(),
 	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, perf); err != nil {
+			fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
+			return 1
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// perfRecord is the machine-readable perf artifact written by -json; the
+// BENCH_*.json files at the repository root record its trajectory across
+// PRs (see EXPERIMENTS.md §Runtime).
+type perfRecord struct {
+	Schema     string      `json:"schema"`
+	Params     string      `json:"params"`
+	Workers    int         `json:"workers"` // 0 means GOMAXPROCS
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	GoVersion  string      `json:"go_version"`
+	Tables     []tablePerf `json:"tables"`
+	Totals     totalsPerf  `json:"totals"`
+}
+
+// tablePerf times one rendered table. Under a parallel campaign a
+// table's wall time is the time spent waiting for its missing runs (the
+// pool computes tables' runs concurrently), so the per-table numbers sum
+// to the campaign total only at -workers=1.
+type tablePerf struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+type totalsPerf struct {
+	Runs         int64   `json:"runs"` // distinct simulations executed
+	WallMS       float64 `json:"wall_ms"`
+	SimCycles    int64   `json:"sim_cycles"`
+	Events       int64   `json:"events_dispatched"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+func writeJSON(path string, perf perfRecord) error {
+	data, err := json.MarshalIndent(perf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func writeCSV(dir string, t *coma.ReportTable) error {

@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"coma/internal/coherence"
-	"coma/internal/config"
-	"coma/internal/machine"
 	"coma/internal/report"
 	"coma/internal/stats"
 	"coma/internal/workload"
@@ -67,28 +65,14 @@ func (s *Suite) Ablation() (*report.Table, error) {
 }
 
 // modernOverhead runs the std/ECP pair on the faster-processor preset.
+// The runs go through the suite's worker pool, so a planned campaign
+// (Suite.Plan) has them computing alongside everything else.
 func (s *Suite) modernOverhead(app workload.Spec, hz float64) (string, error) {
-	run := func(protocol coherence.Protocol, hz float64) (*stats.Run, error) {
-		cfg := machine.Config{
-			Arch:         config.Modern(s.P.Nodes),
-			Protocol:     protocol,
-			App:          s.P.scaled(app),
-			Seed:         s.P.Seed,
-			CheckpointHz: hz,
-			Oracle:       true,
-			MaxCycles:    1 << 40,
-		}
-		m, err := machine.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return m.Run()
-	}
-	std, err := run(coherence.Standard, 0)
+	std, err := s.modernRun(app, 0, coherence.Standard)
 	if err != nil {
 		return "", fmt.Errorf("experiments: modern %s: %w", app.Name, err)
 	}
-	ecp, err := run(coherence.ECP, hz)
+	ecp, err := s.modernRun(app, hz, coherence.ECP)
 	if err != nil {
 		return "", fmt.Errorf("experiments: modern %s: %w", app.Name, err)
 	}

@@ -15,9 +15,13 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"coma/internal/coherence"
 	"coma/internal/config"
+	"coma/internal/experiments/runner"
 	"coma/internal/machine"
 	"coma/internal/stats"
 	"coma/internal/workload"
@@ -44,7 +48,14 @@ type Params struct {
 	// Apps are the workloads (the four Table 3 applications).
 	Apps []workload.Spec
 	// Progress, when non-nil, receives one line per simulation run.
+	// Calls are serialised, but under a parallel campaign their order
+	// follows worker scheduling, not render order.
 	Progress func(msg string)
+	// Workers bounds the number of simulations executed concurrently
+	// (0 means GOMAXPROCS; 1 is strictly serial). The rendered tables
+	// are byte-identical for every worker count: each run owns a
+	// private sim.Engine and RNG streams derived only from the seed.
+	Workers int
 }
 
 // Quick returns a laptop-scale campaign: runs long enough that even the
@@ -97,18 +108,33 @@ func (p Params) scaled(app workload.Spec) workload.Spec {
 	return app.Scale(float64(p.TargetInstructions) / float64(app.Instructions))
 }
 
+// runKey identifies one distinct simulation of a campaign. It is the
+// memoisation key of the suite's worker pool: every figure that needs
+// the same configuration shares one run.
 type runKey struct {
 	app      string
 	nodes    int
 	hzMilli  int64
 	protocol coherence.Protocol
 	opts     coherence.Options
+	modern   bool // the faster-processor architecture preset
 }
 
-// Suite memoises simulation runs across the experiment functions.
+// Suite memoises simulation runs across the experiment functions and
+// executes them on a bounded worker pool (Params.Workers). Rendering is
+// unchanged by parallelism: methods block until the runs they need are
+// done, and every run is bit-identical to its serial execution.
 type Suite struct {
-	P     Params
-	cache map[runKey]*stats.Run
+	P    Params
+	pool *runner.Pool[runKey, *stats.Run]
+
+	progressMu sync.Mutex
+
+	// Work actually executed (memoised hits excluded), for the perf
+	// artifact emitted by cmd/comabench -json.
+	runs   atomic.Int64
+	cycles atomic.Int64
+	events atomic.Int64
 }
 
 // NewSuite builds a suite for the parameters.
@@ -116,25 +142,51 @@ func NewSuite(p Params) *Suite {
 	if p.Nodes == 0 {
 		p = Quick()
 	}
-	return &Suite{P: p, cache: make(map[runKey]*stats.Run)}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Suite{P: p, pool: runner.New[runKey, *stats.Run](workers)}
+}
+
+// Totals reports the simulations actually executed so far (shared,
+// memoised runs counted once) with their simulated cycles and kernel
+// events dispatched.
+func (s *Suite) Totals() (runs, cycles, events int64) {
+	return s.runs.Load(), s.cycles.Load(), s.events.Load()
 }
 
 // Run simulates (or returns the memoised result of) one configuration.
 func (s *Suite) Run(app workload.Spec, nodes int, hz float64,
 	protocol coherence.Protocol, opts coherence.Options) (*stats.Run, error) {
 
-	key := runKey{app.Name, nodes, int64(hz * 1000), protocol, opts}
-	if r, ok := s.cache[key]; ok {
-		return r, nil
-	}
-	if s.P.Progress != nil {
-		s.P.Progress(fmt.Sprintf("running %s on %d nodes, %s, %g recovery points/s",
-			app.Name, nodes, protocol, hz))
+	key := runKey{app.Name, nodes, int64(hz * 1000), protocol, opts, false}
+	return s.pool.Get(key, func() (*stats.Run, error) { return s.execute(key, app, hz) })
+}
+
+// start schedules one configuration on the worker pool without waiting
+// (the planning path; see Plan).
+func (s *Suite) start(app workload.Spec, nodes int, hz float64,
+	protocol coherence.Protocol, opts coherence.Options, modern bool) {
+
+	key := runKey{app.Name, nodes, int64(hz * 1000), protocol, opts, modern}
+	s.pool.Start(key, func() (*stats.Run, error) { return s.execute(key, app, hz) })
+}
+
+// execute performs one simulation. It runs on a pool worker; everything
+// it touches is either private to the run (machine, engine, RNG
+// streams) or synchronised (progress, counters).
+func (s *Suite) execute(key runKey, app workload.Spec, hz float64) (*stats.Run, error) {
+	s.progress(fmt.Sprintf("running %s on %d nodes, %s, %g recovery points/s",
+		app.Name, key.nodes, key.protocol, hz))
+	arch := config.KSR1(key.nodes)
+	if key.modern {
+		arch = config.Modern(key.nodes)
 	}
 	cfg := machine.Config{
-		Arch:         config.KSR1(nodes),
-		Protocol:     protocol,
-		Opts:         opts,
+		Arch:         arch,
+		Protocol:     key.protocol,
+		Opts:         key.opts,
 		App:          s.P.scaled(app),
 		Seed:         s.P.Seed,
 		CheckpointHz: hz,
@@ -143,14 +195,25 @@ func (s *Suite) Run(app workload.Spec, nodes int, hz float64,
 	}
 	m, err := machine.New(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%d/%s: %w", app.Name, nodes, protocol, err)
+		return nil, fmt.Errorf("experiments: %s/%d/%s: %w", app.Name, key.nodes, key.protocol, err)
 	}
 	r, err := m.Run()
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%d/%s: %w", app.Name, nodes, protocol, err)
+		return nil, fmt.Errorf("experiments: %s/%d/%s: %w", app.Name, key.nodes, key.protocol, err)
 	}
-	s.cache[key] = r
+	s.runs.Add(1)
+	s.cycles.Add(r.Cycles)
+	s.events.Add(r.Events)
 	return r, nil
+}
+
+func (s *Suite) progress(msg string) {
+	if s.P.Progress == nil {
+		return
+	}
+	s.progressMu.Lock()
+	defer s.progressMu.Unlock()
+	s.P.Progress(msg)
 }
 
 // std returns the standard-protocol baseline for an app and size.
@@ -161,4 +224,11 @@ func (s *Suite) std(app workload.Spec, nodes int) (*stats.Run, error) {
 // ecp returns an ECP run at a frequency.
 func (s *Suite) ecp(app workload.Spec, nodes int, hz float64) (*stats.Run, error) {
 	return s.Run(app, nodes, hz, coherence.ECP, coherence.Options{})
+}
+
+// modernRun returns a run on the faster-processor preset (the ablation's
+// "modern arch" column), memoised and scheduled like every other run.
+func (s *Suite) modernRun(app workload.Spec, hz float64, protocol coherence.Protocol) (*stats.Run, error) {
+	key := runKey{app.Name, s.P.Nodes, int64(hz * 1000), protocol, coherence.Options{}, true}
+	return s.pool.Get(key, func() (*stats.Run, error) { return s.execute(key, app, hz) })
 }

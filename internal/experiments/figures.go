@@ -267,8 +267,12 @@ func nodeCols(sweep []int) []string {
 	return out
 }
 
-// All regenerates every table and figure in paper order.
+// All regenerates every table and figure in paper order. It plans the
+// whole campaign first — every distinct simulation starts on the worker
+// pool before any table renders — so rendering order never serialises
+// the runs.
 func (s *Suite) All() ([]*report.Table, error) {
+	s.Plan()
 	kind := []func() (*report.Table, error){
 		s.Table1, s.Table2, s.Table3,
 		s.Fig3, s.Fig4, s.Fig5, s.Fig6, s.Fig7,

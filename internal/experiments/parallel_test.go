@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"coma/internal/workload"
+)
+
+// renderAll renders the whole campaign with the given worker count and
+// returns every table concatenated as text.
+func renderAll(t *testing.T, workers int) string {
+	t.Helper()
+	p := tiny()
+	p.Apps = []workload.Spec{workload.Water(), workload.Mp3d()}
+	p.Workers = workers
+	s := NewSuite(p)
+	tables, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestParallelMatchesSerial is the determinism contract of the campaign
+// runner: the same seed rendered strictly serially (Workers=1) and on an
+// eight-worker pool must produce byte-identical tables. Each simulation
+// owns a private sim.Engine and RNG streams derived only from the seed,
+// so worker scheduling cannot leak into results. CI greps for this
+// test's PASS line — do not add a Skip path.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := renderAll(t, 1)
+	parallel := renderAll(t, 8)
+	if serial != parallel {
+		d := firstDiff(serial, parallel)
+		t.Fatalf("parallel campaign diverged from serial at byte %d:\nserial:   %q\nparallel: %q",
+			d, excerpt(serial, d), excerpt(parallel, d))
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func excerpt(s string, at int) string {
+	lo, hi := at-40, at+40
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}

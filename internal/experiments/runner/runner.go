@@ -1,0 +1,109 @@
+// Package runner executes independent simulation runs on a bounded
+// worker pool with singleflight-style memoisation: the first request for
+// a key claims it and computes; every other request — concurrent or
+// later — waits for and shares that single computation.
+//
+// Concurrency model. This package is the one deliberate exception to the
+// repository's "no raw goroutines/channels outside internal/sim" rule
+// (see README §Static analysis & CI): a campaign is a set of *mutually
+// independent* simulations, each owning a private sim.Engine and RNG
+// streams derived only from the run seed, so runs may execute on real OS
+// threads in any order without affecting any simulated outcome. The
+// determinism contract lives at the boundary: Pool parallelises across
+// engines, never within one, and results are bit-identical to serial
+// execution (asserted by TestParallelMatchesSerial in the parent
+// package). The package is explicitly allowlisted in the comalint
+// determinism/simblocking analyzers; code anywhere else that reaches for
+// goroutines or channels is still flagged.
+package runner
+
+import "sync"
+
+// Pool memoises computations keyed by K, running at most a fixed number
+// concurrently. The zero value is not usable; call New.
+type Pool[K comparable, V any] struct {
+	sem chan struct{} // counting semaphore bounding concurrent computes
+
+	mu      sync.Mutex
+	entries map[K]*entry[V]
+}
+
+type entry[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+// New returns a pool that runs at most workers computations at once.
+// Workers below 1 are clamped to 1 (strictly serial execution).
+func New[K comparable, V any](workers int) *Pool[K, V] {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool[K, V]{
+		sem:     make(chan struct{}, workers),
+		entries: make(map[K]*entry[V]),
+	}
+}
+
+// Workers returns the concurrency bound.
+func (p *Pool[K, V]) Workers() int { return cap(p.sem) }
+
+// Get returns the memoised value for key, computing it with compute on
+// the caller's goroutine if this is the first request. Concurrent Gets
+// and Starts for one key share a single computation; compute is invoked
+// at most once per key for the life of the pool.
+func (p *Pool[K, V]) Get(key K, compute func() (V, error)) (V, error) {
+	e, leader := p.claim(key)
+	if leader {
+		p.run(e, compute)
+	} else {
+		<-e.done
+	}
+	return e.val, e.err
+}
+
+// Start begins computing key in the background and returns immediately.
+// It is the planning primitive: a campaign Starts every distinct key it
+// will need, then Gets them in render order; the pool keeps all workers
+// busy regardless of that order. Starting an already-claimed key is a
+// no-op.
+func (p *Pool[K, V]) Start(key K, compute func() (V, error)) {
+	e, leader := p.claim(key)
+	if leader {
+		go p.run(e, compute)
+	}
+}
+
+// Len returns the number of distinct keys claimed so far.
+func (p *Pool[K, V]) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// claim registers key and reports whether the caller is its leader (the
+// one that must compute it).
+func (p *Pool[K, V]) claim(key K) (*entry[V], bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[key]; ok {
+		return e, false
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	p.entries[key] = e
+	return e, true
+}
+
+// run executes one computation under the worker bound. The deferred
+// close guarantees waiters are released even if compute panics (the
+// panic then propagates and crashes the program loudly — a panicking
+// simulation is a bug, not a recoverable condition).
+func (p *Pool[K, V]) run(e *entry[V], compute func() (V, error)) {
+	p.sem <- struct{}{}
+	defer func() {
+		<-p.sem
+		close(e.done)
+	}()
+	e.val, e.err = compute()
+}

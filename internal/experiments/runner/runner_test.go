@@ -1,0 +1,136 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetMemoises(t *testing.T) {
+	p := New[int, int](4)
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+	for i := 0; i < 5; i++ {
+		v, err := p.Get(7, compute)
+		if err != nil || v != 42 {
+			t.Fatalf("Get = %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+}
+
+func TestErrorsAreMemoisedToo(t *testing.T) {
+	p := New[string, int](2)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := p.Get("k", func() (int, error) { calls++; return 0, boom })
+		if err != boom {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing compute ran %d times, want 1", calls)
+	}
+}
+
+func TestWorkersClampedToOne(t *testing.T) {
+	if w := New[int, int](0).Workers(); w != 1 {
+		t.Fatalf("Workers() = %d, want 1", w)
+	}
+	if w := New[int, int](-3).Workers(); w != 1 {
+		t.Fatalf("Workers() = %d, want 1", w)
+	}
+}
+
+// TestSingleflightUnderContention hammers one pool from many goroutines
+// with overlapping keys, checking each key computes exactly once and the
+// concurrency bound holds. Run under -race this is the soak CI relies
+// on.
+func TestSingleflightUnderContention(t *testing.T) {
+	const (
+		workers    = 4
+		keys       = 31
+		goroutines = 64
+		rounds     = 50
+	)
+	p := New[int, int](workers)
+	var computes [keys]atomic.Int64
+	var inFlight, maxInFlight atomic.Int64
+
+	compute := func(k int) func() (int, error) {
+		return func() (int, error) {
+			n := inFlight.Add(1)
+			for {
+				m := maxInFlight.Load()
+				if n <= m || maxInFlight.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			computes[k].Add(1)
+			inFlight.Add(-1)
+			return k * k, nil
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (g*rounds + r*7) % keys
+				if g%3 == 0 {
+					p.Start(k, compute(k))
+					continue
+				}
+				v, err := p.Get(k, compute(k))
+				if err != nil || v != k*k {
+					t.Errorf("Get(%d) = %d, %v", k, v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Drain: every key must resolve even if only ever Started.
+	for k := 0; k < keys; k++ {
+		if v, err := p.Get(k, compute(k)); err != nil || v != k*k {
+			t.Fatalf("drain Get(%d) = %d, %v", k, v, err)
+		}
+	}
+	for k := range computes {
+		if n := computes[k].Load(); n != 1 {
+			t.Errorf("key %d computed %d times, want 1", k, n)
+		}
+	}
+	if m := maxInFlight.Load(); m > workers {
+		t.Errorf("max in-flight computes = %d, bound is %d", m, workers)
+	}
+	if p.Len() != keys {
+		t.Errorf("Len = %d, want %d", p.Len(), keys)
+	}
+}
+
+// TestStartIsNonBlocking: Start must return while the computation is
+// still pending even when all workers are busy.
+func TestStartIsNonBlocking(t *testing.T) {
+	p := New[int, int](1)
+	gate := make(chan struct{})
+	p.Start(1, func() (int, error) { <-gate; return 1, nil })
+	p.Start(2, func() (int, error) { return 2, nil }) // queued behind key 1
+	close(gate)
+	if v, err := p.Get(2, nil); err != nil || v != 2 {
+		t.Fatalf("Get(2) = %d, %v", v, err)
+	}
+	if v, err := p.Get(1, nil); err != nil || v != 1 {
+		t.Fatalf("Get(1) = %d, %v", v, err)
+	}
+}

@@ -19,15 +19,25 @@ func TestSimBlocking(t *testing.T) {
 	analysistest.Run(t, analyzers.SimBlocking, "testdata/src/simblocking")
 }
 
+// TestSimBlockingFlagsRunnerShapedCode proves the ConcurrencyAllowlist
+// is an explicit exception, not an analyzer hole: the runnerlike fixture
+// reproduces internal/experiments/runner's constructs in an
+// un-allowlisted package and every one of them is diagnosed.
+func TestSimBlockingFlagsRunnerShapedCode(t *testing.T) {
+	analysistest.Run(t, analyzers.SimBlocking, "testdata/src/runnerlike")
+}
+
 func TestDeterminismScope(t *testing.T) {
 	for path, want := range map[string]bool{
-		"coma/internal/sim":       true,
-		"coma/internal/coherence": true,
-		"coma/internal/core":      true,
-		"coma/internal/node":      true,
-		"coma/internal/machine":   false,
-		"coma/internal/proto":     false,
-		"coma/cmd/comasim":        false,
+		"coma/internal/sim":                true,
+		"coma/internal/coherence":          true,
+		"coma/internal/core":               true,
+		"coma/internal/node":               true,
+		"coma/internal/experiments":        true,
+		"coma/internal/experiments/runner": false, // ConcurrencyAllowlist
+		"coma/internal/machine":            false,
+		"coma/internal/proto":              false,
+		"coma/cmd/comasim":                 false,
 	} {
 		if got := analyzers.DeterminismScope(path); got != want {
 			t.Errorf("DeterminismScope(%q) = %v, want %v", path, got, want)
@@ -37,15 +47,25 @@ func TestDeterminismScope(t *testing.T) {
 
 func TestSimBlockingScope(t *testing.T) {
 	for path, want := range map[string]bool{
-		"coma/internal/coherence": true,
-		"coma/internal/machine":   true,
-		"coma/internal/snoop":     true,
-		"coma/internal/sim":       false, // implements the primitives
-		"coma/internal/proto":     false,
-		"coma/cmd/comasim":        false,
+		"coma/internal/coherence":          true,
+		"coma/internal/machine":            true,
+		"coma/internal/snoop":              true,
+		"coma/internal/experiments":        true,
+		"coma/internal/experiments/runner": false, // ConcurrencyAllowlist
+		"coma/internal/sim":                false, // implements the primitives
+		"coma/internal/proto":              false,
+		"coma/cmd/comasim":                 false,
 	} {
 		if got := analyzers.SimBlockingScope(path); got != want {
 			t.Errorf("SimBlockingScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestConcurrencyAllowlistEntriesJustified(t *testing.T) {
+	for path, reason := range analyzers.ConcurrencyAllowlist {
+		if reason == "" {
+			t.Errorf("allowlist entry %q has no recorded justification", path)
 		}
 	}
 }

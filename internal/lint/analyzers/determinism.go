@@ -31,8 +31,13 @@ var Determinism = &analysis.Analyzer{
 }
 
 // DeterminismScope reports whether the analyzer applies to a package:
-// the deterministic core of the simulator.
+// the deterministic core of the simulator, plus the experiment campaign
+// subtree (whose tables promise bit-identical output for every worker
+// count). Packages on the ConcurrencyAllowlist are exempt.
 func DeterminismScope(pkgPath string) bool {
+	if allowlisted(pkgPath) {
+		return false
+	}
 	switch {
 	case strings.HasSuffix(pkgPath, "internal/sim"),
 		strings.HasSuffix(pkgPath, "internal/coherence"),
@@ -40,7 +45,7 @@ func DeterminismScope(pkgPath string) bool {
 		strings.HasSuffix(pkgPath, "internal/node"):
 		return true
 	}
-	return false
+	return inSubtree(pkgPath, "internal/experiments")
 }
 
 // rngFile is the one file allowed to touch PRNG internals.

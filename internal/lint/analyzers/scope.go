@@ -1,0 +1,36 @@
+package analyzers
+
+import "strings"
+
+// ConcurrencyAllowlist lists the packages exempt from the determinism and
+// simblocking analyzers even though their import paths fall inside the
+// checked subtrees. Every entry is a deliberate policy decision with a
+// recorded justification; code that wants real goroutines or channels
+// belongs in one of these packages (or earns a new entry with a reason),
+// not in an analyzer opt-out comment.
+var ConcurrencyAllowlist = map[string]string{
+	// The campaign worker pool is host-side concurrency by design: it
+	// schedules whole simulations, never code running under a sim.Engine.
+	// Determinism is preserved by isolation instead of ordering — every
+	// simulation owns a private engine and seed-derived RNG streams, so
+	// results are bit-identical for any worker schedule (asserted by
+	// TestParallelMatchesSerial in internal/experiments).
+	"coma/internal/experiments/runner": "campaign worker pool; determinism by per-run isolation",
+}
+
+// allowlisted reports whether a package path has a ConcurrencyAllowlist
+// entry, matching by full path or import-path suffix.
+func allowlisted(pkgPath string) bool {
+	for p := range ConcurrencyAllowlist {
+		if pkgPath == p || strings.HasSuffix(pkgPath, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// inSubtree reports whether pkgPath is root or any package below it,
+// matching root by import-path suffix.
+func inSubtree(pkgPath, root string) bool {
+	return strings.HasSuffix(pkgPath, root) || strings.Contains(pkgPath, root+"/")
+}

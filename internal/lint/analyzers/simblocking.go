@@ -24,10 +24,16 @@ var SimBlocking = &analysis.Analyzer{
 }
 
 // SimBlockingScope reports whether the analyzer applies to a package:
-// everything that executes inside simulated processes. internal/sim
-// itself is exempt (it implements the primitives on real channels), as
-// are the cmd/ and examples/ mains, which run outside the engine.
+// everything that executes inside simulated processes, plus the
+// experiment campaign subtree (render paths must not grow ad-hoc
+// blocking; pooled execution lives behind the allowlisted runner).
+// internal/sim itself is exempt (it implements the primitives on real
+// channels), as are the cmd/ and examples/ mains, which run outside the
+// engine, and ConcurrencyAllowlist packages.
 func SimBlockingScope(pkgPath string) bool {
+	if allowlisted(pkgPath) {
+		return false
+	}
 	for _, suffix := range []string{
 		"internal/coherence", "internal/core", "internal/node",
 		"internal/machine", "internal/snoop", "internal/workload",
@@ -37,7 +43,7 @@ func SimBlockingScope(pkgPath string) bool {
 			return true
 		}
 	}
-	return false
+	return inSubtree(pkgPath, "internal/experiments")
 }
 
 func runSimBlocking(pass *analysis.Pass) (interface{}, error) {

@@ -1,0 +1,46 @@
+// Fixture shaped like internal/experiments/runner: a semaphore-bounded
+// singleflight pool built on real channels and goroutines. The real
+// runner is exempt through the ConcurrencyAllowlist; this package is
+// not, proving that the same constructs anywhere else in the checked
+// subtrees still produce diagnostics — the allowlist is an explicit
+// policy exception, not a hole in the analyzer.
+package fixture
+
+import "sync"
+
+type entry struct {
+	done chan struct{}
+	val  int
+}
+
+type pool struct {
+	sem     chan struct{}
+	mu      sync.Mutex
+	entries map[int]*entry
+}
+
+func (p *pool) get(key int, compute func() int) int {
+	p.mu.Lock()
+	e, ok := p.entries[key]
+	if !ok {
+		e = &entry{done: make(chan struct{})}
+		p.entries[key] = e
+		p.mu.Unlock()
+		p.sem <- struct{}{} // want `raw channel send can block the real goroutine`
+		e.val = compute()
+		<-p.sem // want `raw channel receive blocks the real goroutine`
+		close(e.done)
+		return e.val
+	}
+	p.mu.Unlock()
+	<-e.done // want `raw channel receive blocks the real goroutine`
+	return e.val
+}
+
+func (p *pool) start(key int, compute func() int) {
+	go p.get(key, compute) // want `raw goroutine escapes the engine's wake/yield handshake`
+}
+
+func (p *pool) drain(wg *sync.WaitGroup) {
+	wg.Wait() // want `sync.WaitGroup.Wait blocks outside simulated time`
+}

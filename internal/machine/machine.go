@@ -247,6 +247,7 @@ func (m *Machine) collect() *stats.Run {
 		App:      m.appName(),
 		Nodes:    m.cfg.Arch.Nodes,
 		Cycles:   m.endTime,
+		Events:   m.eng.Events(),
 		ClockHz:  m.cfg.Arch.ClockHz,
 		Ckpt:     m.co.Stats(),
 		PerNode:  make([]stats.Node, len(m.counters)),

@@ -9,6 +9,7 @@ import (
 )
 
 func BenchmarkSendDeliver(b *testing.B) {
+	b.ReportAllocs()
 	e := sim.New()
 	n := New(e, config.KSR1(16))
 	n.SetHandler(15, func(m Message) {})
@@ -19,4 +20,42 @@ func BenchmarkSendDeliver(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRequestReplyWakes is the wake-heavy path of the coherence
+// protocol: every node runs a requester process that sends a request
+// carrying a future (Token), the destination handler sends the reply
+// with the future attached, and delivery of the reply wakes the blocked
+// requester. Each round is therefore two message deliveries plus one
+// future completion and process wake per node.
+func BenchmarkRequestReplyWakes(b *testing.B) {
+	b.ReportAllocs()
+	const nodes = 16
+	e := sim.New()
+	n := New(e, config.KSR1(nodes))
+	for i := 0; i < nodes; i++ {
+		node := proto.NodeID(i)
+		n.SetHandler(node, func(m Message) {
+			if m.Kind == proto.MsgReadReq {
+				n.Send(Message{Kind: proto.MsgDataReply, Src: node, Dst: m.Src, Reply: m.Token})
+			}
+		})
+	}
+	rounds := b.N/nodes + 1
+	for i := 0; i < nodes; i++ {
+		src := proto.NodeID(i)
+		dst := proto.NodeID((i + 5) % nodes)
+		e.Spawn("requester", func(p *sim.Process) {
+			for r := 0; r < rounds; r++ {
+				f := sim.NewFuture[Message]()
+				n.Send(Message{Kind: proto.MsgReadReq, Src: src, Dst: dst, Token: f})
+				f.Await(p)
+			}
+		})
+	}
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	e.Shutdown()
 }

@@ -3,6 +3,7 @@ package sim
 import "testing"
 
 func BenchmarkEventDispatch(b *testing.B) {
+	b.ReportAllocs()
 	e := New()
 	for i := 0; i < b.N; i++ {
 		e.After(1, func() {})
@@ -12,13 +13,131 @@ func BenchmarkEventDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkProcessWait measures the kernel's hottest path: one process
+// blocking and being woken once per simulated cycle.
 func BenchmarkProcessWait(b *testing.B) {
+	b.ReportAllocs()
 	e := New()
 	e.Spawn("w", func(p *Process) {
 		for i := 0; i < b.N; i++ {
 			p.Wait(1)
 		}
 	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	e.Shutdown()
+}
+
+// BenchmarkProcessWaitZero measures the same-cycle wake path: Wait(0)
+// yields for the current cycle and must resume without advancing time.
+func BenchmarkProcessWaitZero(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	e.Spawn("w", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(0)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	e.Shutdown()
+}
+
+// BenchmarkSpawnWaitChurn measures process lifecycle cost: each iteration
+// spawns a short-lived process that blocks a few times and exits, the
+// pattern of per-transaction helper processes in the coherence engine.
+func BenchmarkSpawnWaitChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.Spawn("churn", func(p *Process) {
+			p.Wait(1)
+			p.Wait(1)
+			p.Wait(0)
+		})
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Shutdown()
+}
+
+// BenchmarkHeapPushPop measures scheduling against a deep event queue:
+// each iteration pushes and pops one event while depth-1 others are
+// pending, isolating the binary-heap cost from the process machinery.
+func BenchmarkHeapPushPop(b *testing.B) {
+	for _, depth := range []int{16, 256, 4096} {
+		depth := depth
+		b.Run(benchName(depth), func(b *testing.B) {
+			b.ReportAllocs()
+			e := New()
+			r := NewRNG(7)
+			nop := func() {}
+			for i := 0; i < depth-1; i++ {
+				e.At(1+r.Int63n(1<<30), nop)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.At(1+r.Int63n(1<<30), nop)
+				e.queue.pop()
+			}
+		})
+	}
+}
+
+func benchName(depth int) string {
+	switch depth {
+	case 16:
+		return "depth16"
+	case 256:
+		return "depth256"
+	default:
+		return "depth4096"
+	}
+}
+
+// BenchmarkPingPong measures a many-process wake storm: pairs of
+// processes handing a future back and forth, the shape of
+// request/reply traffic between coherence transaction processes.
+func BenchmarkPingPong(b *testing.B) {
+	b.ReportAllocs()
+	const pairs = 8
+	e := New()
+	type court struct {
+		ball *Future[int]
+		back *Future[int]
+	}
+	courts := make([]*court, pairs)
+	rounds := b.N/pairs + 1
+	for i := 0; i < pairs; i++ {
+		c := &court{ball: NewFuture[int](), back: NewFuture[int]()}
+		courts[i] = c
+		e.Spawn("ping", func(p *Process) {
+			for r := 0; r < rounds; r++ {
+				ball := c.ball
+				back := c.back
+				ball.Complete(p.Engine(), r)
+				back.Await(p)
+				if r+1 < rounds {
+					c.ball = NewFuture[int]()
+					c.back = NewFuture[int]()
+				}
+			}
+		})
+		e.Spawn("pong", func(p *Process) {
+			for r := 0; r < rounds; r++ {
+				ball := c.ball
+				ball.Await(p)
+				p.Wait(1)
+				c.back.Complete(p.Engine(), r)
+				p.Wait(1)
+			}
+		})
+	}
 	b.ResetTimer()
 	if _, err := e.Run(); err != nil {
 		b.Fatal(err)

@@ -23,6 +23,15 @@ type Engine struct {
 	seq   int64
 	queue eventHeap
 
+	// nowq is the same-cycle fast path: events scheduled while running
+	// for the current cycle are appended here (a FIFO, already in seq
+	// order) instead of paying a heap push/pop. The dispatch loop merges
+	// nowq and the heap by (time, seq), so ordering is identical to a
+	// heap-only schedule. nowqHead indexes the next pending entry; the
+	// backing array is reused once drained.
+	nowq     []event
+	nowqHead int
+
 	yield chan struct{} // processes hand control back to the engine here
 
 	procs   map[*Process]struct{}
@@ -35,15 +44,27 @@ type Engine struct {
 	events int64 // total events dispatched, for diagnostics
 }
 
+// event is one scheduled occurrence. Exactly one of fn and proc is set:
+// fn is an arbitrary callback; proc is a parked process to resume, kept
+// as a typed field so the hot block/wake path (Process.Wait, future and
+// resource wakes) schedules without allocating a closure.
 type event struct {
 	time int64
 	seq  int64
 	fn   func()
+	proc *Process
 }
+
+// initialQueueCap pre-sizes the event containers so steady-state
+// simulations never grow them; both backing arrays are reused across
+// Run calls for the life of the engine.
+const initialQueueCap = 256
 
 // New returns a fresh engine with the clock at cycle zero.
 func New() *Engine {
 	return &Engine{
+		queue: eventHeap{a: make([]event, 0, initialQueueCap)},
+		nowq:  make([]event, 0, initialQueueCap/4),
 		yield: make(chan struct{}),
 		procs: make(map[*Process]struct{}),
 	}
@@ -62,11 +83,27 @@ func (e *Engine) Processes() int { return len(e.procs) }
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics.
 func (e *Engine) At(t int64, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	e.schedule(event{time: t, fn: fn})
+}
+
+// atWake schedules the resumption of a parked process at absolute time
+// t. It is the allocation-free twin of At used by every blocking
+// primitive (Wait, future/resource/barrier wakes).
+func (e *Engine) atWake(t int64, p *Process) {
+	e.schedule(event{time: t, proc: p})
+}
+
+func (e *Engine) schedule(ev event) {
+	if ev.time < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", ev.time, e.now))
 	}
 	e.seq++
-	e.queue.push(event{time: t, seq: e.seq, fn: fn})
+	ev.seq = e.seq
+	if e.running && ev.time == e.now {
+		e.nowq = append(e.nowq, ev)
+		return
+	}
+	e.queue.push(ev)
 }
 
 // After schedules fn to run d cycles from now.
@@ -99,7 +136,32 @@ func (e *Engine) RunUntil(limit int64) (int64, error) {
 	e.stopped = false
 	defer func() { e.running = false }()
 
-	for !e.stopped && e.queue.len() > 0 {
+	for !e.stopped {
+		// Drain the same-cycle FIFO in merged (time, seq) order with the
+		// heap: a heap event at the current cycle with a smaller seq was
+		// scheduled earlier and fires first. nowq entries are always due
+		// at e.now, so time never advances while any are pending.
+		if e.nowqHead < len(e.nowq) {
+			nq := e.nowq[e.nowqHead]
+			if e.queue.len() > 0 {
+				top := e.queue.peek()
+				if top.time < nq.time || (top.time == nq.time && top.seq < nq.seq) {
+					e.dispatch(e.queue.pop())
+					continue
+				}
+			}
+			e.nowq[e.nowqHead] = event{} // release fn/proc for the GC
+			e.nowqHead++
+			if e.nowqHead == len(e.nowq) {
+				e.nowq = e.nowq[:0] // drained: reuse the backing array
+				e.nowqHead = 0
+			}
+			e.dispatch(nq)
+			continue
+		}
+		if e.queue.len() == 0 {
+			break
+		}
 		next := e.queue.peek()
 		if limit >= 0 && next.time > limit {
 			e.now = limit
@@ -109,11 +171,22 @@ func (e *Engine) RunUntil(limit int64) (int64, error) {
 		if ev.time < e.now {
 			panic("sim: event queue went backwards")
 		}
-		e.now = ev.time
-		e.events++
-		ev.fn()
+		e.dispatch(ev)
 	}
 	return e.now, nil
+}
+
+// dispatch fires one due event: either a plain callback or, on the
+// allocation-free wake path, the handshake resuming a parked process.
+func (e *Engine) dispatch(ev event) {
+	e.now = ev.time
+	e.events++
+	if ev.proc != nil {
+		ev.proc.wake <- struct{}{}
+		<-e.yield
+		return
+	}
+	ev.fn()
 }
 
 // Shutdown terminates every live process (they observe a killed signal at
@@ -142,10 +215,7 @@ func (e *Engine) Shutdown() {
 // wakeNow schedules an immediate handshake that resumes p and waits for it
 // to park again or finish.
 func (e *Engine) wakeNow(p *Process) {
-	e.After(0, func() {
-		p.wake <- struct{}{}
-		<-e.yield
-	})
+	e.atWake(e.now, p)
 }
 
 // WakeNow resumes a process blocked in Park at the current simulated

@@ -95,10 +95,7 @@ func (p *Process) Wait(d int64) {
 		panic(fmt.Sprintf("sim: process %q waiting negative %d", p.name, d))
 	}
 	e := p.eng
-	e.At(e.now+d, func() {
-		p.wake <- struct{}{}
-		<-e.yield
-	})
+	e.atWake(e.now+d, p)
 	p.park()
 }
 

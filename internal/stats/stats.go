@@ -181,6 +181,7 @@ type Run struct {
 	App           string
 	Nodes         int
 	Cycles        int64 // total simulated execution time
+	Events        int64 // kernel events dispatched by the sim engine
 	ClockHz       int64
 	Ckpt          Checkpointing
 	PerNode       []Node
