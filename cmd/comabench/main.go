@@ -21,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -120,12 +122,15 @@ func run() int {
 	suite.Plan(selected...)
 
 	perf := perfRecord{
-		Schema:     "coma-bench-campaign/v1",
-		Params:     *params,
-		Workers:    p.Workers,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
+		Schema:      "coma-bench-campaign/v2",
+		Params:      *params,
+		Workers:     p.Workers,
+		GitRevision: gitRevision(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
 	}
 	for _, g := range gens {
 		if len(wanted) > 0 && !wanted[g.id] {
@@ -187,16 +192,51 @@ func run() int {
 
 // perfRecord is the machine-readable perf artifact written by -json; the
 // BENCH_*.json files at the repository root record its trajectory across
-// PRs (see EXPERIMENTS.md §Runtime).
+// PRs (see EXPERIMENTS.md §Runtime). Schema history: v2 added
+// git_revision, goos and goarch so a record pins the code and platform
+// it measured.
 type perfRecord struct {
-	Schema     string      `json:"schema"`
-	Params     string      `json:"params"`
-	Workers    int         `json:"workers"` // 0 means GOMAXPROCS
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	NumCPU     int         `json:"num_cpu"`
-	GoVersion  string      `json:"go_version"`
-	Tables     []tablePerf `json:"tables"`
-	Totals     totalsPerf  `json:"totals"`
+	Schema      string      `json:"schema"`
+	Params      string      `json:"params"`
+	Workers     int         `json:"workers"` // 0 means GOMAXPROCS
+	GitRevision string      `json:"git_revision"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	NumCPU      int         `json:"num_cpu"`
+	GoVersion   string      `json:"go_version"`
+	Tables      []tablePerf `json:"tables"`
+	Totals      totalsPerf  `json:"totals"`
+}
+
+// gitRevision pins the measured code: the vcs.revision stamped into the
+// binary when it was built inside a checkout (with "+dirty" appended if
+// the worktree was modified), falling back to asking git directly for
+// `go run` style builds, then to "unknown".
+func gitRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				rev += "+dirty"
+			}
+			return rev
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
 }
 
 // tablePerf times one rendered table. Under a parallel campaign a

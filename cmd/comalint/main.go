@@ -10,6 +10,7 @@
 //	determinism      no wall-clock time, no global math/rand, no
 //	                 order-sensitive map iteration in the simulator core
 //	simblocking      simulated processes block only via internal/sim
+//	obswallclock     Observer implementations never read the wall clock
 //
 // Flags select a subset (-run exhaustivestate,determinism). Exit status
 // is 1 if any diagnostic is reported, 2 on operational errors.
@@ -40,6 +41,7 @@ var checkers = []checker{
 	{analyzers.ExhaustiveState, everywhere},
 	{analyzers.Determinism, analyzers.DeterminismScope},
 	{analyzers.SimBlocking, analyzers.SimBlockingScope},
+	{analyzers.ObsWallClock, everywhere},
 }
 
 func main() {

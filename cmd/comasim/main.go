@@ -7,6 +7,15 @@
 //	comasim -app mp3d -nodes 16 -protocol ecp -hz 100 -scale 0.01
 //	comasim -app barnes -protocol standard -scale 0.01
 //	comasim -app water -protocol ecp -hz 400 -fail 500000:3 -fail 900000:5:perm
+//
+// Observability (see README §Observability): -trace-out writes an event
+// log — a .jsonl path gets the JSON-lines format, anything else the
+// Chrome trace-event JSON that loads in Perfetto; -metrics-out writes
+// the histogram summary ("-" for stdout); -obs-filter narrows the
+// recorded event classes.
+//
+//	comasim -app mp3d -protocol ecp -hz 400 -fail 800000:2 \
+//	    -trace-out run.trace.json -trace-out run.jsonl -metrics-out -
 package main
 
 import (
@@ -20,6 +29,15 @@ import (
 	"coma/internal/proto"
 	"coma/internal/report"
 )
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
 
 type failureFlags []coma.Failure
 
@@ -54,9 +72,15 @@ func main() {
 		modern   = flag.Bool("modern", false, "use the faster-processor architecture variant")
 		strict   = flag.Bool("strict", false, "per-reference interleaving and oracle checks (slow)")
 		verify   = flag.Bool("invariants", false, "check recovery-data invariants at every commit")
+
+		metricsOut = flag.String("metrics-out", "", "write the histogram summary to this file (\"-\" for stdout)")
+		obsFilter  = flag.String("obs-filter", "", "comma-separated event classes to record: state, fill, inject, ckpt, fault, net, all (default all)")
+		obsSample  = flag.Int64("obs-sample", 0, "mesh queue-depth sampling period in cycles (0: default)")
 	)
 	var failures failureFlags
 	flag.Var(&failures, "fail", "inject a failure, cycle:node[:perm]; repeatable")
+	var traceOuts stringList
+	flag.Var(&traceOuts, "trace-out", "write the event trace to this file (.jsonl: JSON lines; otherwise Chrome trace-event JSON); repeatable")
 	flag.Parse()
 
 	app, ok := coma.AppByName(*appName)
@@ -76,6 +100,18 @@ func main() {
 		Failures:     failures,
 		CheckpointHz: *hz,
 	}
+
+	var rec *coma.ObsRecorder
+	if len(traceOuts) > 0 || *metricsOut != "" {
+		mask, err := coma.ParseObsFilter(*obsFilter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
+			os.Exit(2)
+		}
+		rec = coma.NewObsRecorder(mask)
+		cfg.Observer = rec
+		cfg.ObsSampleEvery = *obsSample
+	}
 	switch *protocol {
 	case "standard":
 		cfg.Protocol = coma.Standard
@@ -93,6 +129,57 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res)
+
+	if rec != nil {
+		if err := exportObservations(rec, res, traceOuts, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// exportObservations writes the recorded event stream to every requested
+// sink once the run has completed.
+func exportObservations(rec *coma.ObsRecorder, res *coma.Result, traceOuts []string, metricsOut string) error {
+	events := rec.Events()
+	for _, path := range traceOuts {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, ".jsonl") {
+			err = coma.WriteTraceJSONL(f, events)
+		} else {
+			err = coma.WriteChromeTrace(f, res.ClockHz, events)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		fmt.Printf("  trace               %s (%d events)\n", path, len(events))
+	}
+	if metricsOut == "" {
+		return nil
+	}
+	if metricsOut == "-" {
+		fmt.Println()
+		return coma.WriteObsSummary(os.Stdout, events)
+	}
+	f, err := os.Create(metricsOut)
+	if err != nil {
+		return err
+	}
+	err = coma.WriteObsSummary(f, events)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", metricsOut, err)
+	}
+	fmt.Printf("  metrics             %s\n", metricsOut)
+	return nil
 }
 
 func printResult(r *coma.Result) {

@@ -6,6 +6,12 @@
 //
 //	comatrace record -app mp3d -scale 0.001 -procs 16 -out traces/
 //	comatrace info traces/mp3d.3.trace
+//
+// It also summarises observability event logs written by
+// comasim -trace-out (JSONL format): per-kind counts, fill sources and
+// the fixed-bucket histograms.
+//
+//	comatrace summarize run.jsonl
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"path/filepath"
 
 	"coma"
+	"coma/internal/obs"
 	"coma/internal/trace"
 	"coma/internal/workload"
 )
@@ -28,6 +35,8 @@ func main() {
 		record(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
+	case "summarize":
+		summarize(os.Args[2:])
 	default:
 		usage()
 	}
@@ -36,8 +45,36 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   comatrace record -app <name> [-scale f] [-procs n] [-seed s] [-out dir]
-  comatrace info <trace-file>...`)
+  comatrace info <trace-file>...
+  comatrace summarize <events.jsonl>...`)
 	os.Exit(2)
+}
+
+// summarize renders the histogram/summary report of JSONL event logs
+// written by comasim -trace-out. It derives the metrics with the same
+// code path the live exporter uses, so the two reports agree.
+func summarize(paths []string) {
+	if len(paths) == 0 {
+		usage()
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)
+			os.Exit(1)
+		}
+		events, err := obs.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comatrace: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s:\n", path)
+		if err := obs.WriteSummary(os.Stdout, events); err != nil {
+			fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func record(args []string) {

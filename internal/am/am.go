@@ -62,6 +62,17 @@ type AM struct {
 
 	allocated int
 	stats     Stats
+
+	// stateHook, when set, is called on every state change made through
+	// Set/SetState (the protocol engine's choke points). Bulk scans via
+	// ForEachAllocated deliberately bypass it: the commit/recovery scans
+	// flip every slot at once and are observed as phase spans instead.
+	stateHook func(item proto.ItemID, from, to proto.State)
+}
+
+// SetStateHook installs the state-transition hook (nil disables it).
+func (a *AM) SetStateHook(fn func(item proto.ItemID, from, to proto.State)) {
+	a.stateHook = fn
 }
 
 // New builds an empty attraction memory for the node.
@@ -174,6 +185,9 @@ func (a *AM) Set(item proto.ItemID, slot Slot) {
 	if slot.State.Modified() {
 		f.modified++
 	}
+	if a.stateHook != nil && old.State != slot.State {
+		a.stateHook(item, old.State, slot.State)
+	}
 	*old = slot
 }
 
@@ -189,6 +203,9 @@ func (a *AM) SetState(item proto.ItemID, st proto.State) {
 	}
 	if st.Modified() {
 		f.modified++
+	}
+	if a.stateHook != nil && s.State != st {
+		a.stateHook(item, s.State, st)
 	}
 	s.State = st
 }

@@ -5,6 +5,7 @@ import (
 
 	"coma/internal/am"
 	"coma/internal/mesh"
+	"coma/internal/obs"
 	"coma/internal/proto"
 	"coma/internal/sim"
 )
@@ -16,6 +17,7 @@ import (
 func (e *Engine) ReadItem(p *sim.Process, n proto.NodeID, item proto.ItemID) uint64 {
 	c := e.counters[n]
 	c.AMReads++
+	start := p.Now()
 
 	// The local lookup pass costs a full AM access whether it hits or
 	// detects the miss (Table 2 calibration, DESIGN.md §4.6). The slot
@@ -42,6 +44,10 @@ func (e *Engine) ReadItem(p *sim.Process, n proto.NodeID, item proto.ItemID) uin
 	if slot := e.ams[n].Slot(item); e.readable(slot.State) {
 		e.useController(p, n, e.arch.AMAccess)
 		c.FillsLocal++
+		if e.obs != nil {
+			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KReadFill, Node: n, Item: item,
+				A: obs.FillLocal, B: p.Now() - start})
+		}
 		e.verifyRead(n, item, slot.Value)
 		return slot.Value
 	}
@@ -66,10 +72,12 @@ func (e *Engine) ReadItem(p *sim.Process, n proto.NodeID, item proto.ItemID) uin
 	m := e.fetch(p, n, item, proto.MsgReadReq)
 	e.useController(p, n, e.arch.AMAccess) // install + cache fill
 	var value uint64
+	src := obs.FillRemote
 	switch m.Kind {
 	case proto.MsgColdGrant:
 		// Initialised-background memory: a read-only zero copy.
 		c.FillsCold++
+		src = obs.FillCold
 		e.ams[n].Set(item, am.Slot{State: proto.Shared, Value: 0, Partner: proto.None})
 	case proto.MsgDataReply:
 		c.FillsRemote++
@@ -77,6 +85,10 @@ func (e *Engine) ReadItem(p *sim.Process, n proto.NodeID, item proto.ItemID) uin
 		e.ams[n].Set(item, am.Slot{State: proto.Shared, Value: value, Partner: proto.None})
 	default:
 		panic(fmt.Sprintf("coherence: read reply %v", m))
+	}
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KReadFill, Node: n, Item: item,
+			A: src, B: p.Now() - start})
 	}
 	e.verifyRead(n, item, value)
 	return value
@@ -89,6 +101,7 @@ func (e *Engine) ReadItem(p *sim.Process, n proto.NodeID, item proto.ItemID) uin
 func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, value uint64) {
 	c := e.counters[n]
 	c.AMWrites++
+	start := p.Now()
 
 	// Lookup pass first, state examined after it completes (same
 	// write-completion race as in ReadItem: exclusivity observed before
@@ -107,6 +120,10 @@ func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, va
 	if e.ams[n].State(item) == proto.Exclusive { // granted while queued
 		e.useController(p, n, e.arch.AMAccess)
 		e.ams[n].Set(item, am.Slot{State: proto.Exclusive, Value: value, Partner: proto.None})
+		if e.obs != nil {
+			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KWriteFill, Node: n, Item: item,
+				A: obs.FillLocal, B: p.Now() - start})
+		}
 		return
 	}
 
@@ -132,6 +149,10 @@ func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, va
 		e.invalidateSharers(p, n, item)
 		e.useController(p, n, e.arch.AMAccess)
 		e.ams[n].Set(item, am.Slot{State: proto.Exclusive, Value: value, Partner: proto.None})
+		if e.obs != nil {
+			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KWriteFill, Node: n, Item: item,
+				A: obs.FillLocal, B: p.Now() - start})
+		}
 
 	case proto.Shared, proto.Invalid:
 		page := e.arch.PageOf(item)
@@ -148,10 +169,16 @@ func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, va
 		ackFut.Await(p)
 		e.finishAcks(item)
 		e.useController(p, n, e.arch.AMAccess)
+		src := obs.FillRemote
 		if m.Kind == proto.MsgColdGrant {
 			e.counters[n].FillsCold++
+			src = obs.FillCold
 		}
 		e.ams[n].Set(item, am.Slot{State: proto.Exclusive, Value: value, Partner: proto.None})
+		if e.obs != nil {
+			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KWriteFill, Node: n, Item: item,
+				A: src, B: p.Now() - start})
+		}
 
 	default:
 		panic(fmt.Sprintf("coherence: write on node %v found item %d in %v", n, item, st))

@@ -6,6 +6,7 @@ import (
 	"coma/internal/am"
 	"coma/internal/directory"
 	"coma/internal/mesh"
+	"coma/internal/obs"
 	"coma/internal/proto"
 	"coma/internal/sim"
 )
@@ -21,6 +22,10 @@ import (
 // process while the machine is quiesced.
 func (e *Engine) CreatePhase(p *sim.Process, n proto.NodeID) {
 	start := p.Now()
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: start, Kind: obs.KPhaseBegin, Node: n,
+			Item: proto.NoItem, A: int64(obs.PhaseCreate)})
+	}
 	c := e.counters[n]
 	// The work list must be private to this call: every node's create
 	// phase runs concurrently during an establishment.
@@ -72,6 +77,10 @@ func (e *Engine) CreatePhase(p *sim.Process, n proto.NodeID) {
 		e.unlockItem(item)
 	}
 	c.CkptCreateCycles += p.Now() - start
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KPhaseEnd, Node: n,
+			Item: proto.NoItem, A: int64(obs.PhaseCreate), B: p.Now() - start})
+	}
 }
 
 // CommitScanCost returns the cycles one node's commit-phase scan takes:
@@ -88,6 +97,10 @@ func (e *Engine) CommitScanCost(n proto.NodeID) int64 {
 // previous recovery point are discarded.
 func (e *Engine) CommitScan(p *sim.Process, n proto.NodeID) {
 	start := p.Now()
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: start, Kind: obs.KPhaseBegin, Node: n,
+			Item: proto.NoItem, A: int64(obs.PhaseCommit)})
+	}
 	p.Wait(e.CommitScanCost(n))
 	e.ams[n].ForEachAllocated(func(item proto.ItemID, s *slotRef) {
 		switch s.State {
@@ -105,6 +118,10 @@ func (e *Engine) CommitScan(p *sim.Process, n proto.NodeID) {
 		}
 	})
 	e.counters[n].CkptCommitCycles += p.Now() - start
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KPhaseEnd, Node: n,
+			Item: proto.NoItem, A: int64(obs.PhaseCommit), B: p.Now() - start})
+	}
 }
 
 // RecoveryScan runs one node's rollback scan (§3.4): all current and
@@ -113,6 +130,11 @@ func (e *Engine) CommitScan(p *sim.Process, n proto.NodeID) {
 // restored to Shared-CK. The processor cache is invalidated by the node
 // layer alongside this call.
 func (e *Engine) RecoveryScan(p *sim.Process, n proto.NodeID) {
+	start := p.Now()
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: start, Kind: obs.KPhaseBegin, Node: n,
+			Item: proto.NoItem, A: int64(obs.PhaseRecoveryScan)})
+	}
 	p.Wait(e.CommitScanCost(n)) // same scan structure as the commit phase
 	e.ams[n].ForEachAllocated(func(item proto.ItemID, s *slotRef) {
 		switch s.State {
@@ -129,6 +151,10 @@ func (e *Engine) RecoveryScan(p *sim.Process, n proto.NodeID) {
 			// their rolled-back state.
 		}
 	})
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KPhaseEnd, Node: n,
+			Item: proto.NoItem, A: int64(obs.PhaseRecoveryScan), B: p.Now() - start})
+	}
 }
 
 // slotRef aliases the AM's slot type for the scan callbacks.
@@ -188,6 +214,11 @@ type dirEntry = directory.Entry
 // node. dead reports whether a node was lost (its AM contents are gone).
 // It returns the number of copies re-created.
 func (e *Engine) ReconfigureNode(p *sim.Process, n proto.NodeID, dead func(proto.NodeID) bool) int {
+	start := p.Now()
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: start, Kind: obs.KPhaseBegin, Node: n,
+			Item: proto.NoItem, A: int64(obs.PhaseReconfigure)})
+	}
 	type work struct {
 		item    proto.ItemID
 		promote bool
@@ -222,6 +253,12 @@ func (e *Engine) ReconfigureNode(p *sim.Process, n proto.NodeID, dead func(proto
 		target := e.inject(p, n, w.item, false, proto.InjectReconfigure)
 		e.ams[n].SetPartner(w.item, target)
 		e.unlockItem(w.item)
+	}
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KReconfig, Node: n,
+			Item: proto.NoItem, A: int64(len(todo))})
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KPhaseEnd, Node: n,
+			Item: proto.NoItem, A: int64(obs.PhaseReconfigure), B: p.Now() - start})
 	}
 	return len(todo)
 }

@@ -21,6 +21,7 @@ import (
 	"coma/internal/config"
 	"coma/internal/directory"
 	"coma/internal/mesh"
+	"coma/internal/obs"
 	"coma/internal/proto"
 	"coma/internal/sim"
 	"coma/internal/stats"
@@ -95,6 +96,11 @@ type Engine struct {
 	// checkRead, when set, validates every value delivered to a
 	// processor against the machine oracle.
 	checkRead func(n proto.NodeID, item proto.ItemID, value uint64)
+
+	// obs, when set, receives protocol events (misses, injections,
+	// checkpoint phases). Each emission site is guarded by one nil
+	// check; a disabled engine pays nothing else.
+	obs obs.Observer
 }
 
 // New wires a protocol engine to the machine's parts and registers the
@@ -162,6 +168,9 @@ func (e *Engine) AM(n proto.NodeID) *am.AM { return e.ams[n] }
 func (e *Engine) SetReadChecker(fn func(n proto.NodeID, item proto.ItemID, value uint64)) {
 	e.checkRead = fn
 }
+
+// SetObserver installs the observability sink (nil disables it).
+func (e *Engine) SetObserver(o obs.Observer) { e.obs = o }
 
 // dispatch routes a delivered message to its handler. It runs in event
 // context; handlers needing simulated time spawn processes.

@@ -5,6 +5,7 @@ import (
 
 	"coma/internal/am"
 	"coma/internal/mesh"
+	"coma/internal/obs"
 	"coma/internal/proto"
 	"coma/internal/sim"
 )
@@ -47,6 +48,7 @@ func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
 	// allows dropping a clean victim frame at the target.
 	alive := e.dir.AliveCount()
 	target := proto.None
+	hops := int64(0)
 	t := e.dir.NextAlive(n)
 	for step := 0; step < 2*alive; step++ {
 		if t == n {
@@ -58,6 +60,10 @@ func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
 			lap = 1
 		}
 		c.InjectProbes++
+		if e.obs != nil {
+			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KInjectProbe, Node: n, Item: item,
+				Cause: cause, A: int64(t), B: lap})
+		}
 		fut := sim.NewFuture[mesh.Message]()
 		e.net.Send(mesh.Message{
 			Kind:      proto.MsgInjectProbe,
@@ -77,11 +83,17 @@ func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
 			break
 		}
 		c.InjectHops++
+		hops++
 		t = e.dir.NextAlive(t)
 	}
 	if target == proto.None {
 		panic(fmt.Sprintf("coherence: injection of item %d from %v found no room after two laps",
 			item, n))
+	}
+
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KInjectAccept, Node: n, Item: item,
+			Cause: cause, A: int64(target), B: hops})
 	}
 
 	// Step two: the data transfer and its acknowledgement. The probe

@@ -19,6 +19,7 @@ import (
 
 	"coma/internal/coherence"
 	"coma/internal/mesh"
+	"coma/internal/obs"
 	"coma/internal/proto"
 	"coma/internal/sim"
 	"coma/internal/stats"
@@ -118,6 +119,9 @@ type Coordinator struct {
 
 	// Finished processors parked in ServeRounds.
 	idleWaiters []*sim.Process
+
+	// obsv, when set, receives round, fault and rollback events.
+	obsv obs.Observer
 }
 
 // NewCoordinator builds the recovery coordinator. interval is the cycles
@@ -148,6 +152,9 @@ func NewCoordinator(eng *sim.Engine, coh *coherence.Engine, net *mesh.Network,
 
 // Stats returns the checkpoint accounting so far.
 func (co *Coordinator) Stats() stats.Checkpointing { return co.ck }
+
+// SetObserver installs the observability sink (nil disables it).
+func (co *Coordinator) SetObserver(o obs.Observer) { co.obsv = o }
 
 // Alive reports whether a node is still a live member.
 func (co *Coordinator) Alive(n proto.NodeID) bool { return co.alive[n] }
@@ -350,6 +357,10 @@ func (co *Coordinator) beginRound(mode roundMode) {
 	co.round++
 	co.mode = mode
 	co.pauseRequested = true
+	if co.obsv != nil {
+		co.obsv.Emit(obs.Event{Time: co.eng.Now(), Kind: obs.KRoundBegin,
+			Node: proto.None, Item: proto.NoItem, A: int64(mode), B: co.round})
+	}
 	co.quiesce = newCounter(co.eng, co.participants())
 	co.gateStart = sim.NewGate()
 	co.gateMid = sim.NewGate()
@@ -394,6 +405,10 @@ func (co *Coordinator) runCheckpoint(p *sim.Process) {
 	}
 	co.beginRound(roundCheckpoint)
 	co.quiesce.fut.Await(p)
+	if co.obsv != nil {
+		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KRoundQuiesced,
+			Node: proto.None, Item: proto.NoItem, B: co.round})
+	}
 
 	// A failure injected during quiesce aborts the establishment: the
 	// previous recovery point is still intact (the paper's create-phase
@@ -418,12 +433,20 @@ func (co *Coordinator) runCheckpoint(p *sim.Process) {
 	co.ck.CommitCycles += p.Now() - tCommit
 	co.ck.Established++
 
+	if co.obsv != nil {
+		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KCommitted,
+			Node: proto.None, Item: proto.NoItem, B: co.round})
+	}
 	if co.hooks.OnCommit != nil {
 		co.hooks.OnCommit()
 	}
 	co.pauseRequested = false
 	co.gateUp.Open(co.eng)
 	co.lastCkpt = p.Now()
+	if co.obsv != nil {
+		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KRoundEnd,
+			Node: proto.None, Item: proto.NoItem, A: int64(roundCheckpoint), B: co.round})
+	}
 }
 
 // abortRoundIntoRecovery converts an in-progress checkpoint round (still
@@ -446,6 +469,10 @@ func (co *Coordinator) runRecovery(p *sim.Process) {
 	}
 	co.beginRound(roundRecovery)
 	co.quiesce.fut.Await(p)
+	if co.obsv != nil {
+		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KRoundQuiesced,
+			Node: proto.None, Item: proto.NoItem, B: co.round})
+	}
 	co.finishRecovery(p)
 }
 
@@ -467,6 +494,14 @@ func (co *Coordinator) finishRecovery(p *sim.Process) {
 	}
 	for _, f := range failures {
 		n := f.Node
+		if co.obsv != nil {
+			perm := int64(0)
+			if f.Permanent {
+				perm = 1
+			}
+			co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KFault,
+				Node: n, Item: proto.NoItem, A: perm, B: co.round})
+		}
 		if co.finished[n] {
 			continue
 		}
@@ -487,6 +522,10 @@ func (co *Coordinator) finishRecovery(p *sim.Process) {
 	co.phase1.fut.Await(p) // all scans done, caches cleared
 
 	dropped := co.coh.RebuildDirectory()
+	if co.obsv != nil {
+		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KRollback,
+			Node: proto.None, Item: proto.NoItem, A: int64(len(dropped)), B: co.round})
+	}
 	for _, f := range failures {
 		if !f.Permanent && !co.finished[f.Node] {
 			co.coh.RestoreAnchors(p, f.Node)
@@ -512,6 +551,10 @@ func (co *Coordinator) finishRecovery(p *sim.Process) {
 	co.pauseRequested = false
 	co.gateUp.Open(co.eng)
 	co.maybeOpenAppBarrier()
+	if co.obsv != nil {
+		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KRoundEnd,
+			Node: proto.None, Item: proto.NoItem, A: int64(roundRecovery), B: co.round})
+	}
 }
 
 // AppBarrier implements the workload-level global barrier: the processor

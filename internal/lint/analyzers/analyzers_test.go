@@ -19,6 +19,10 @@ func TestSimBlocking(t *testing.T) {
 	analysistest.Run(t, analyzers.SimBlocking, "testdata/src/simblocking")
 }
 
+func TestObsWallClock(t *testing.T) {
+	analysistest.Run(t, analyzers.ObsWallClock, "testdata/src/obsimpl")
+}
+
 // TestSimBlockingFlagsRunnerShapedCode proves the ConcurrencyAllowlist
 // is an explicit exception, not an analyzer hole: the runnerlike fixture
 // reproduces internal/experiments/runner's constructs in an
@@ -33,6 +37,7 @@ func TestDeterminismScope(t *testing.T) {
 		"coma/internal/coherence":          true,
 		"coma/internal/core":               true,
 		"coma/internal/node":               true,
+		"coma/internal/obs":                true,
 		"coma/internal/experiments":        true,
 		"coma/internal/experiments/runner": false, // ConcurrencyAllowlist
 		"coma/internal/machine":            false,

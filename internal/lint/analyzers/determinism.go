@@ -31,9 +31,11 @@ var Determinism = &analysis.Analyzer{
 }
 
 // DeterminismScope reports whether the analyzer applies to a package:
-// the deterministic core of the simulator, plus the experiment campaign
-// subtree (whose tables promise bit-identical output for every worker
-// count). Packages on the ConcurrencyAllowlist are exempt.
+// the deterministic core of the simulator, the observability layer
+// (whose exported traces promise byte-identical same-seed replay), plus
+// the experiment campaign subtree (whose tables promise bit-identical
+// output for every worker count). Packages on the ConcurrencyAllowlist
+// are exempt.
 func DeterminismScope(pkgPath string) bool {
 	if allowlisted(pkgPath) {
 		return false
@@ -42,7 +44,8 @@ func DeterminismScope(pkgPath string) bool {
 	case strings.HasSuffix(pkgPath, "internal/sim"),
 		strings.HasSuffix(pkgPath, "internal/coherence"),
 		strings.HasSuffix(pkgPath, "internal/core"),
-		strings.HasSuffix(pkgPath, "internal/node"):
+		strings.HasSuffix(pkgPath, "internal/node"),
+		strings.HasSuffix(pkgPath, "internal/obs"):
 		return true
 	}
 	return inSubtree(pkgPath, "internal/experiments")

@@ -1,0 +1,136 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"coma/internal/lint/analysis"
+)
+
+// ObsWallClock enforces the observability layer's time contract on
+// Observer implementations everywhere in the repository (the general
+// determinism analyzer only covers the simulator core): a type that
+// declares an Emit(obs.Event) method is a sink for events stamped with
+// simulated time, and none of its methods may read the wall clock —
+// time.Now / time.Since / time.Until. A wall-clock stamp smuggled into
+// an exported trace would break byte-identical replay of same-seed
+// runs.
+var ObsWallClock = &analysis.Analyzer{
+	Name: "obswallclock",
+	Doc: "Observer implementations (any type with an Emit(obs.Event) " +
+		"method) must not read the wall clock in any method",
+	Run: runObsWallClock,
+}
+
+func runObsWallClock(pass *analysis.Pass) (interface{}, error) {
+	// Pass 1: receiver types declaring Emit(obs.Event).
+	observers := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Emit" {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 1 || !isObsEvent(sig.Params().At(0).Type()) {
+				continue
+			}
+			if tn := recvTypeName(sig); tn != nil {
+				observers[tn] = true
+			}
+		}
+	}
+	if len(observers) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: every method of an observer type (not just Emit — helpers
+	// feed the same event stream) is wall-clock-free.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			tn := recvTypeName(sig)
+			if tn == nil || !observers[tn] {
+				continue
+			}
+			checkObsMethodBody(pass, tn, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkObsMethodBody(pass *analysis.Pass, tn *types.TypeName, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // methods on time.Time values are fine
+		}
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"time.%s in method %s.%s of an Observer implementation: "+
+					"events carry simulated time only",
+				fn.Name(), tn.Name(), fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// isObsEvent reports whether t is the named type Event of a package
+// whose import path ends in internal/obs (matched by suffix so the
+// analysistest fixtures, loaded under a synthetic module path, resolve
+// the same way the real module does).
+func isObsEvent(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// recvTypeName returns the defining TypeName of a method signature's
+// receiver base type, or nil for non-named receivers.
+func recvTypeName(sig *types.Signature) *types.TypeName {
+	recv := sig.Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}

@@ -1,0 +1,57 @@
+// Fixture for the obswallclock analyzer: any type declaring an
+// Emit(obs.Event) method is an Observer implementation, and none of its
+// methods may read the wall clock. Types without such an Emit method
+// are out of scope here (the determinism analyzer owns them).
+package fixture
+
+import (
+	"time"
+
+	"coma/internal/obs"
+)
+
+// stamper implements obs.Observer and reads the wall clock in two
+// methods; both are flagged.
+type stamper struct {
+	last  time.Time
+	count int
+}
+
+func (s *stamper) Emit(e obs.Event) {
+	s.last = time.Now() // want `time.Now in method stamper.Emit of an Observer implementation`
+	s.count++
+}
+
+func (s *stamper) age() time.Duration {
+	return time.Since(s.last) // want `time.Since in method stamper.age of an Observer implementation`
+}
+
+// silent implements obs.Observer without wall-clock use: no findings.
+type silent struct{ n int }
+
+func (s *silent) Emit(obs.Event) { s.n++ }
+
+func (s *silent) len() int { return s.n }
+
+// plain has no Emit method at all, so its wall-clock use is out of
+// scope for this analyzer.
+type plain struct{}
+
+func (plain) stamp() time.Time { return time.Now() }
+
+// emitInt declares Emit with the wrong parameter type; not an Observer.
+type emitInt struct{ t time.Time }
+
+func (emitInt) Emit(int) {}
+
+func (e emitInt) now() time.Time { return time.Now() }
+
+// durations and time.Time methods inside an observer are fine — only
+// the wall-clock reads are banned.
+type waiter struct{ deadline time.Time }
+
+func (w *waiter) Emit(obs.Event) {}
+
+func (w *waiter) window() time.Duration { return 3 * time.Millisecond }
+
+func (w *waiter) hour() int { return w.deadline.Hour() }

@@ -18,6 +18,7 @@ import (
 	"coma/internal/directory"
 	"coma/internal/mesh"
 	"coma/internal/node"
+	"coma/internal/obs"
 	"coma/internal/proto"
 	"coma/internal/sim"
 	"coma/internal/stats"
@@ -66,6 +67,15 @@ type Config struct {
 	// MaxCycles aborts a run that exceeds this simulated time
 	// (safety net; 0 means no limit).
 	MaxCycles int64
+
+	// Obs, when non-nil, receives observability events from every layer
+	// (protocol, checkpoint/recovery, faults, mesh occupancy). nil — the
+	// default — keeps every emission site to a single branch.
+	Obs obs.Observer
+	// ObsSampleEvery is the mesh queue-depth sampling period in cycles
+	// (only meaningful with Obs set; <= 0 selects the 10_000-cycle
+	// default).
+	ObsSampleEvery int64
 }
 
 // Machine is one assembled simulation.
@@ -88,6 +98,10 @@ type Machine struct {
 	remaining int
 	endTime   int64
 	firstErr  error
+
+	// obsTicks counts queue-depth ticker dispatches so collect() can
+	// report the same Events total whether or not observation is on.
+	obsTicks int64
 }
 
 // cacheOps adapts the node set to the coherence engine's cache hook.
@@ -172,6 +186,18 @@ func New(cfg Config) (*Machine, error) {
 	hooks := core.Hooks{OnCommit: m.onCommit, OnRollback: m.onRollback}
 	m.co = core.NewCoordinator(m.eng, m.coh, m.net, n, interval, hooks)
 
+	if cfg.Obs != nil {
+		m.coh.SetObserver(cfg.Obs)
+		m.co.SetObserver(cfg.Obs)
+		for i := range m.ams {
+			nid := proto.NodeID(i)
+			m.ams[i].SetStateHook(func(item proto.ItemID, from, to proto.State) {
+				cfg.Obs.Emit(obs.Event{Time: m.eng.Now(), Kind: obs.KState,
+					Node: nid, Item: item, From: from, To: to})
+			})
+		}
+	}
+
 	if cfg.Oracle {
 		m.oracle = make(map[proto.ItemID]uint64)
 		m.committed = make(map[proto.ItemID]uint64)
@@ -220,6 +246,25 @@ func (m *Machine) Run() (*stats.Run, error) {
 		m.co.ScheduleFailure(f.At, core.Failure{Node: f.Node, Permanent: f.Permanent})
 	}
 
+	if m.cfg.Obs != nil {
+		// Sim-time ticker sampling mesh occupancy. It reschedules itself
+		// for as long as the engine runs; its dispatches are counted so
+		// the reported Events total is unchanged by observation.
+		every := m.cfg.ObsSampleEvery
+		if every <= 0 {
+			every = 10_000
+		}
+		var tick func()
+		tick = func() {
+			m.obsTicks++
+			m.cfg.Obs.Emit(obs.Event{Time: m.eng.Now(), Kind: obs.KQueueDepth,
+				Node: proto.None, Item: proto.NoItem,
+				A: m.net.Inflight(mesh.RequestNet), B: m.net.Inflight(mesh.ReplyNet)})
+			m.eng.After(every, tick)
+		}
+		m.eng.After(every, tick)
+	}
+
 	limit := int64(-1)
 	if m.cfg.MaxCycles > 0 {
 		limit = m.cfg.MaxCycles
@@ -247,7 +292,7 @@ func (m *Machine) collect() *stats.Run {
 		App:      m.appName(),
 		Nodes:    m.cfg.Arch.Nodes,
 		Cycles:   m.endTime,
-		Events:   m.eng.Events(),
+		Events:   m.eng.Events() - m.obsTicks,
 		ClockHz:  m.cfg.Arch.ClockHz,
 		Ckpt:     m.co.Stats(),
 		PerNode:  make([]stats.Node, len(m.counters)),

@@ -126,6 +126,12 @@ type Network struct {
 	niSendFree [2][]int64
 	niRecvFree [2][]int64
 
+	// inflight counts messages accepted by Send but not yet delivered
+	// (per subnet, loopback included). Sampled by the observability
+	// queue-depth ticker; maintaining two integers costs nothing when
+	// nobody reads them.
+	inflight [2]int64
+
 	stats Stats
 }
 
@@ -155,6 +161,10 @@ func (n *Network) Dims() (w, h int) { return n.w, n.h }
 
 // Stats returns a copy of the accumulated network statistics.
 func (n *Network) Stats() Stats { return n.stats }
+
+// Inflight returns the number of messages currently in flight on the
+// subnet (sent but not yet delivered, loopback included).
+func (n *Network) Inflight(s Subnet) int64 { return n.inflight[s] }
 
 // SetHandler installs the delivery callback for a node.
 func (n *Network) SetHandler(node proto.NodeID, h Handler) {
@@ -188,6 +198,7 @@ func (n *Network) Send(m Message) {
 	if m.Src == m.Dst {
 		// Loopback: no network traversal; the controller hand-off is
 		// free (its work is charged by the handler itself).
+		n.inflight[SubnetOf(m.Kind)]++
 		n.eng.After(0, func() { n.deliver(m) })
 		return
 	}
@@ -196,6 +207,7 @@ func (n *Network) Send(m Message) {
 		return
 	}
 	sub := SubnetOf(m.Kind)
+	n.inflight[sub]++
 	flits := int64(n.arch.MsgFlits(m.Kind))
 	now := n.eng.Now()
 
@@ -223,6 +235,7 @@ func (n *Network) Send(m Message) {
 }
 
 func (n *Network) deliver(m Message) {
+	n.inflight[SubnetOf(m.Kind)]--
 	if n.down[m.Dst] || n.down[m.Src] {
 		n.stats.Dropped++
 		return

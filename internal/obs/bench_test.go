@@ -1,0 +1,70 @@
+package obs
+
+import "testing"
+
+// emitHost mirrors how the simulator layers hold an Observer: a nil
+// interface field checked once per emission site. The benchmark and the
+// zero-alloc test below pin the cost model the package documents — a
+// disabled observer is one predictable branch and no allocation.
+type emitHost struct {
+	obs Observer
+	now int64
+}
+
+func (h *emitHost) access() {
+	h.now += 17
+	if h.obs != nil {
+		h.obs.Emit(Event{Time: h.now, Kind: KReadFill, Node: 1, Item: 42, A: FillRemote, B: 120})
+	}
+}
+
+// BenchmarkObsDisabled measures the per-access cost of the guard with
+// observation off (the default for every simulator run).
+func BenchmarkObsDisabled(b *testing.B) {
+	h := &emitHost{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.access()
+	}
+	if h.now == 0 {
+		b.Fatal("loop optimised away")
+	}
+}
+
+// BenchmarkObsNop measures emitting through a non-nil no-op Observer —
+// the upper bound any enabled exporter must beat before its own work.
+func BenchmarkObsNop(b *testing.B) {
+	h := &emitHost{obs: Nop{}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.access()
+	}
+}
+
+// BenchmarkObsRecorder measures recording into the buffering Recorder.
+func BenchmarkObsRecorder(b *testing.B) {
+	r := NewRecorder(MaskAll)
+	h := &emitHost{obs: r}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.access()
+	}
+}
+
+// TestObsDisabledZeroAlloc pins the acceptance criterion directly: the
+// disabled emit path performs zero allocations.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	h := &emitHost{}
+	if allocs := testing.AllocsPerRun(1000, h.access); allocs != 0 {
+		t.Fatalf("disabled emit path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestObsNopZeroAlloc additionally checks that emitting a full Event
+// through the interface does not box or allocate.
+func TestObsNopZeroAlloc(t *testing.T) {
+	h := &emitHost{obs: Nop{}}
+	if allocs := testing.AllocsPerRun(1000, h.access); allocs != 0 {
+		t.Fatalf("nop emit path allocates %.1f per op, want 0", allocs)
+	}
+}

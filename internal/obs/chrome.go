@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteChromeTrace writes events in the Chrome trace-event JSON format
+// (the "JSON Array Format"), loadable in Perfetto or chrome://tracing.
+//
+// Layout: everything lives in pid 0 ("comasim"); each node gets its own
+// track (tid = node id) carrying its checkpoint/recovery phase spans and
+// fault/injection/reconfiguration instants, and one extra track
+// (tid = nodes) carries the coordinator's global round spans, quiesce
+// and commit markers. Mesh queue-depth samples become counter tracks.
+// Timestamps are sim cycles converted to microseconds of simulated time
+// via clockHz.
+//
+// High-volume kinds (state transitions, fills, individual probes) are
+// deliberately left out of the visual trace — they remain in the JSONL
+// log and feed the histogram summary instead.
+func WriteChromeTrace(w io.Writer, clockHz int64, events []Event) error {
+	nodes := 0
+	for i := range events {
+		if n := int(events[i].Node) + 1; n > nodes {
+			nodes = n
+		}
+		if events[i].Kind == KInjectProbe || events[i].Kind == KInjectAccept {
+			if n := int(events[i].A) + 1; n > nodes {
+				nodes = n
+			}
+		}
+	}
+	coordTID := int64(nodes)
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 256)
+	first := true
+	emit := func(b []byte) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(b)
+		return err
+	}
+	// ts converts a cycle count to trace microseconds.
+	ts := func(buf []byte, cycles int64) []byte {
+		us := float64(cycles) * 1e6 / float64(clockHz)
+		return strconv.AppendFloat(buf, us, 'f', 3, 64)
+	}
+
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+
+	// Metadata: process and per-track names.
+	buf = append(buf[:0], `{"ph":"M","pid":0,"name":"process_name","args":{"name":"comasim"}}`...)
+	if err := emit(buf); err != nil {
+		return err
+	}
+	for n := 0; n < nodes; n++ {
+		buf = append(buf[:0], `{"ph":"M","pid":0,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(n), 10)
+		buf = append(buf, `,"name":"thread_name","args":{"name":"node `...)
+		buf = strconv.AppendInt(buf, int64(n), 10)
+		buf = append(buf, `"}}`...)
+		if err := emit(buf); err != nil {
+			return err
+		}
+	}
+	buf = append(buf[:0], `{"ph":"M","pid":0,"tid":`...)
+	buf = strconv.AppendInt(buf, coordTID, 10)
+	buf = append(buf, `,"name":"thread_name","args":{"name":"coordinator"}}`...)
+	if err := emit(buf); err != nil {
+		return err
+	}
+
+	span := func(buf []byte, name string, tid, start, dur int64) []byte {
+		buf = append(buf, `{"ph":"X","pid":0,"tid":`...)
+		buf = strconv.AppendInt(buf, tid, 10)
+		buf = append(buf, `,"ts":`...)
+		buf = ts(buf, start)
+		buf = append(buf, `,"dur":`...)
+		buf = ts(buf, dur)
+		buf = append(buf, `,"name":"`...)
+		buf = append(buf, name...)
+		buf = append(buf, `"`...)
+		return buf
+	}
+	instant := func(buf []byte, name string, tid, at int64) []byte {
+		buf = append(buf, `{"ph":"i","pid":0,"tid":`...)
+		buf = strconv.AppendInt(buf, tid, 10)
+		buf = append(buf, `,"ts":`...)
+		buf = ts(buf, at)
+		buf = append(buf, `,"s":"t","name":"`...)
+		buf = append(buf, name...)
+		buf = append(buf, `"`...)
+		return buf
+	}
+
+	var roundStart int64
+	haveRound := false
+	for i := range events {
+		ev := &events[i]
+		buf = buf[:0]
+		switch ev.Kind {
+		case KPhaseEnd:
+			buf = span(buf, Phase(ev.A).String(), int64(ev.Node), ev.Time-ev.B, ev.B)
+			buf = append(buf, `}`...)
+		case KRoundBegin:
+			roundStart, haveRound = ev.Time, true
+			continue
+		case KRoundEnd:
+			if !haveRound {
+				continue
+			}
+			haveRound = false
+			name := "checkpoint round"
+			if ev.A != 0 {
+				name = "recovery round"
+			}
+			buf = span(buf, name, coordTID, roundStart, ev.Time-roundStart)
+			buf = append(buf, `,"args":{"round":`...)
+			buf = strconv.AppendInt(buf, ev.B, 10)
+			buf = append(buf, `}}`...)
+		case KRoundQuiesced:
+			buf = instant(buf, "quiesced", coordTID, ev.Time)
+			buf = append(buf, `}`...)
+		case KCommitted:
+			buf = instant(buf, "committed", coordTID, ev.Time)
+			buf = append(buf, `,"args":{"round":`...)
+			buf = strconv.AppendInt(buf, ev.B, 10)
+			buf = append(buf, `}}`...)
+		case KRollback:
+			buf = instant(buf, "rollback", coordTID, ev.Time)
+			buf = append(buf, `,"args":{"dropped":`...)
+			buf = strconv.AppendInt(buf, ev.A, 10)
+			buf = append(buf, `}}`...)
+		case KFault:
+			name := "fault (transient)"
+			if ev.A != 0 {
+				name = "fault (permanent)"
+			}
+			buf = instant(buf, name, int64(ev.Node), ev.Time)
+			buf = append(buf, `}`...)
+		case KReconfig:
+			buf = instant(buf, "reconfigured", int64(ev.Node), ev.Time)
+			buf = append(buf, `,"args":{"reinjected":`...)
+			buf = strconv.AppendInt(buf, ev.A, 10)
+			buf = append(buf, `}}`...)
+		case KInjectAccept:
+			buf = instant(buf, "inject", int64(ev.Node), ev.Time)
+			buf = append(buf, `,"args":{"to":`...)
+			buf = strconv.AppendInt(buf, ev.A, 10)
+			buf = append(buf, `,"hops":`...)
+			buf = strconv.AppendInt(buf, ev.B, 10)
+			buf = append(buf, `,"cause":"`...)
+			buf = append(buf, ev.Cause.String()...)
+			buf = append(buf, `"}}`...)
+		case KQueueDepth:
+			buf = append(buf, `{"ph":"C","pid":0,"ts":`...)
+			buf = ts(buf, ev.Time)
+			buf = append(buf, `,"name":"mesh in-flight","args":{"request":`...)
+			buf = strconv.AppendInt(buf, ev.A, 10)
+			buf = append(buf, `,"reply":`...)
+			buf = strconv.AppendInt(buf, ev.B, 10)
+			buf = append(buf, `}}`...)
+		case KState, KReadFill, KWriteFill, KInjectProbe, KPhaseBegin:
+			continue
+		default:
+			continue
+		}
+		if err := emit(buf); err != nil {
+			return err
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

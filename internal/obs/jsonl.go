@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"coma/internal/proto"
+)
+
+// jsonlEvent is the on-disk shape of one event. Enumerations travel as
+// their names so logs stay greppable and survive enum renumbering.
+type jsonlEvent struct {
+	Time  int64  `json:"t"`
+	Kind  string `json:"k"`
+	Node  int64  `json:"n"`
+	Item  int64  `json:"i"`
+	From  string `json:"from,omitempty"`
+	To    string `json:"to,omitempty"`
+	Cause string `json:"cause,omitempty"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+}
+
+// WriteJSONL writes events as one JSON object per line. The encoding is
+// hand-assembled in field order with no map in sight, so the same event
+// stream always produces the same bytes (the byte-identical-trace golden
+// test depends on this).
+func (ev *Event) appendJSONL(buf []byte) []byte {
+	buf = append(buf, `{"t":`...)
+	buf = strconv.AppendInt(buf, ev.Time, 10)
+	buf = append(buf, `,"k":"`...)
+	buf = append(buf, ev.Kind.String()...)
+	buf = append(buf, `","n":`...)
+	buf = strconv.AppendInt(buf, int64(ev.Node), 10)
+	buf = append(buf, `,"i":`...)
+	buf = strconv.AppendInt(buf, int64(ev.Item), 10)
+	if ev.Kind == KState {
+		buf = append(buf, `,"from":"`...)
+		buf = append(buf, ev.From.String()...)
+		buf = append(buf, `","to":"`...)
+		buf = append(buf, ev.To.String()...)
+		buf = append(buf, '"')
+	}
+	if ev.Kind == KInjectProbe || ev.Kind == KInjectAccept {
+		buf = append(buf, `,"cause":"`...)
+		buf = append(buf, ev.Cause.String()...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, `,"a":`...)
+	buf = strconv.AppendInt(buf, ev.A, 10)
+	buf = append(buf, `,"b":`...)
+	buf = strconv.AppendInt(buf, ev.B, 10)
+	buf = append(buf, '}', '\n')
+	return buf
+}
+
+// WriteJSONL writes the events as a JSON-lines log.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 256)
+	for i := range events {
+		buf = events[i].appendJSONL(buf[:0])
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Reverse name lookups for decoding. Built once from the String methods
+// so they can never drift from the canonical names.
+var (
+	kindFromName  = map[string]Kind{}
+	stateFromName = map[string]proto.State{}
+	causeFromName = map[string]proto.InjectCause{}
+)
+
+func init() {
+	for k := Kind(0); k < numKinds; k++ {
+		kindFromName[k.String()] = k
+	}
+	for i := 0; ; i++ {
+		s := proto.State(i)
+		if strings.HasPrefix(s.String(), "State(") {
+			break
+		}
+		stateFromName[s.String()] = s
+	}
+	for c := proto.InjectCause(0); c < proto.NumInjectCauses; c++ {
+		causeFromName[c.String()] = c
+	}
+}
+
+// ReadJSONL parses a JSON-lines log written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal([]byte(raw), &je); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		k, ok := kindFromName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("obs: jsonl line %d: unknown event kind %q", line, je.Kind)
+		}
+		ev := Event{
+			Time: je.Time,
+			Kind: k,
+			Node: proto.NodeID(je.Node),
+			Item: proto.ItemID(je.Item),
+			A:    je.A,
+			B:    je.B,
+		}
+		if je.From != "" || je.To != "" {
+			from, ok := stateFromName[je.From]
+			if !ok {
+				return nil, fmt.Errorf("obs: jsonl line %d: unknown state %q", line, je.From)
+			}
+			to, ok := stateFromName[je.To]
+			if !ok {
+				return nil, fmt.Errorf("obs: jsonl line %d: unknown state %q", line, je.To)
+			}
+			ev.From, ev.To = from, to
+		}
+		if je.Cause != "" {
+			c, ok := causeFromName[je.Cause]
+			if !ok {
+				return nil, fmt.Errorf("obs: jsonl line %d: unknown inject cause %q", line, je.Cause)
+			}
+			ev.Cause = c
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

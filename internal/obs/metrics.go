@@ -1,0 +1,174 @@
+package obs
+
+import "coma/internal/proto"
+
+// Hist is a fixed-bucket histogram over int64 samples. Bucket i counts
+// samples v with v <= Bounds[i] (and v > Bounds[i-1]); the final bucket
+// counts overflow samples above the last bound. Fixed bounds keep
+// aggregation allocation-free and byte-deterministic.
+type Hist struct {
+	Bounds []int64
+	Counts []int64 // len(Bounds)+1
+	N      int64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// NewHist builds a histogram with the given ascending upper bounds.
+func NewHist(bounds ...int64) *Hist {
+	return &Hist{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v int64) {
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Add accumulates other (same bounds) into h.
+func (h *Hist) Add(other *Hist) {
+	if other.N == 0 {
+		return
+	}
+	if h.N == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.N += other.N
+	h.Sum += other.Sum
+	for i := range h.Counts {
+		h.Counts[i] += other.Counts[i]
+	}
+}
+
+// Default bucket bounds. Miss latency and phase durations are in
+// cycles; hops and depths are counts. The bounds are geometric-ish so
+// one histogram covers both the uncontended case and heavy contention.
+var (
+	latencyBounds  = []int64{20, 50, 100, 150, 250, 500, 1_000, 2_500, 5_000, 10_000}
+	hopBounds      = []int64{0, 1, 2, 4, 8, 16, 32}
+	durationBounds = []int64{1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000}
+	depthBounds    = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+)
+
+// NodeMetrics are the per-node histograms.
+type NodeMetrics struct {
+	Node        proto.NodeID
+	ReadLatency *Hist // read miss latency, cycles
+	WriteLat    *Hist // write miss latency, cycles
+	InjectHops  *Hist // ring hops before acceptance
+	PhaseDur    [NumPhases]*Hist
+}
+
+func newNodeMetrics(n proto.NodeID) *NodeMetrics {
+	m := &NodeMetrics{
+		Node:        n,
+		ReadLatency: NewHist(latencyBounds...),
+		WriteLat:    NewHist(latencyBounds...),
+		InjectHops:  NewHist(hopBounds...),
+	}
+	for p := range m.PhaseDur {
+		m.PhaseDur[p] = NewHist(durationBounds...)
+	}
+	return m
+}
+
+// Metrics aggregates histograms per node and per phase from an event
+// stream. The same derivation runs live (after a recorded run) and
+// offline (comatrace summarize over a JSONL log), so the two reports
+// agree by construction.
+type Metrics struct {
+	PerNode []*NodeMetrics
+	// Machine totals.
+	ReadLatency *Hist
+	WriteLat    *Hist
+	InjectHops  *Hist
+	PhaseDur    [NumPhases]*Hist
+	QueueDepth  [2]*Hist // request, reply subnet in-flight samples
+}
+
+// MetricsFromEvents derives the histogram metrics from events. Nodes
+// are sized from the stream (the largest node id seen).
+func MetricsFromEvents(events []Event) *Metrics {
+	nodes := 0
+	for i := range events {
+		if n := int(events[i].Node) + 1; n > nodes {
+			nodes = n
+		}
+	}
+	m := &Metrics{
+		ReadLatency: NewHist(latencyBounds...),
+		WriteLat:    NewHist(latencyBounds...),
+		InjectHops:  NewHist(hopBounds...),
+		QueueDepth:  [2]*Hist{NewHist(depthBounds...), NewHist(depthBounds...)},
+	}
+	for p := range m.PhaseDur {
+		m.PhaseDur[p] = NewHist(durationBounds...)
+	}
+	m.PerNode = make([]*NodeMetrics, nodes)
+	for i := range m.PerNode {
+		m.PerNode[i] = newNodeMetrics(proto.NodeID(i))
+	}
+	for i := range events {
+		ev := &events[i]
+		var nm *NodeMetrics
+		if ev.Node.Valid() && int(ev.Node) < nodes {
+			nm = m.PerNode[ev.Node]
+		}
+		switch ev.Kind {
+		case KReadFill:
+			m.ReadLatency.Observe(ev.B)
+			if nm != nil {
+				nm.ReadLatency.Observe(ev.B)
+			}
+		case KWriteFill:
+			m.WriteLat.Observe(ev.B)
+			if nm != nil {
+				nm.WriteLat.Observe(ev.B)
+			}
+		case KInjectAccept:
+			m.InjectHops.Observe(ev.B)
+			if nm != nil {
+				nm.InjectHops.Observe(ev.B)
+			}
+		case KPhaseEnd:
+			if p := Phase(ev.A); p < NumPhases {
+				m.PhaseDur[p].Observe(ev.B)
+				if nm != nil {
+					nm.PhaseDur[p].Observe(ev.B)
+				}
+			}
+		case KQueueDepth:
+			m.QueueDepth[0].Observe(ev.A)
+			m.QueueDepth[1].Observe(ev.B)
+		case KState, KInjectProbe, KPhaseBegin, KRoundBegin, KRoundQuiesced,
+			KRoundEnd, KCommitted, KFault, KRollback, KReconfig:
+			// Counted in the summary, no histogram contribution.
+		}
+	}
+	return m
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"coma/internal/proto"
+)
+
+func TestHistObserve(t *testing.T) {
+	h := NewHist(10, 100, 1000)
+	for _, v := range []int64{5, 10, 11, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	if want := []int64{2, 2, 1, 1}; !reflect.DeepEqual(h.Counts, want) {
+		t.Fatalf("counts = %v, want %v", h.Counts, want)
+	}
+	if h.N != 6 || h.Min != 5 || h.Max != 5000 {
+		t.Fatalf("n/min/max = %d/%d/%d", h.N, h.Min, h.Max)
+	}
+	if h.Sum != 5+10+11+100+500+5000 {
+		t.Fatalf("sum = %d", h.Sum)
+	}
+
+	other := NewHist(10, 100, 1000)
+	other.Observe(1)
+	h.Add(other)
+	if h.N != 7 || h.Min != 1 || h.Counts[0] != 3 {
+		t.Fatalf("after Add: n=%d min=%d counts=%v", h.N, h.Min, h.Counts)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	m, err := ParseFilter("")
+	if err != nil || m != MaskAll {
+		t.Fatalf("empty filter: %v, %v", m, err)
+	}
+	m, err = ParseFilter("inject, ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kind{KInjectProbe, KInjectAccept, KPhaseBegin, KRoundEnd, KCommitted} {
+		if !m.Has(k) {
+			t.Errorf("mask should include %s", k)
+		}
+	}
+	for _, k := range []Kind{KState, KReadFill, KFault, KQueueDepth} {
+		if m.Has(k) {
+			t.Errorf("mask should not include %s", k)
+		}
+	}
+	if _, err := ParseFilter("bogus"); err == nil {
+		t.Fatal("want error for unknown class")
+	}
+}
+
+func TestRecorderMask(t *testing.T) {
+	r := NewRecorder(1 << KFault)
+	r.Emit(Event{Kind: KState})
+	r.Emit(Event{Kind: KFault, Node: 3})
+	if r.Len() != 1 || r.Events()[0].Kind != KFault {
+		t.Fatalf("recorder kept %v", r.Events())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func sampleEvents() []Event {
+	return []Event{
+		{Time: 10, Kind: KState, Node: 0, Item: 7, From: proto.Shared, To: proto.PreCommit1},
+		{Time: 20, Kind: KReadFill, Node: 1, Item: 9, A: FillRemote, B: 144},
+		{Time: 25, Kind: KWriteFill, Node: 2, Item: 3, A: FillLocal, B: 30},
+		{Time: 30, Kind: KInjectProbe, Node: 1, Item: 9, Cause: proto.InjectCheckpoint, A: 2, B: 0},
+		{Time: 40, Kind: KInjectAccept, Node: 1, Item: 9, Cause: proto.InjectCheckpoint, A: 3, B: 1},
+		{Time: 50, Kind: KRoundBegin, A: 0, B: 1},
+		{Time: 55, Kind: KRoundQuiesced, Node: proto.None, B: 1},
+		{Time: 60, Kind: KPhaseBegin, Node: 0, A: int64(PhaseCreate)},
+		{Time: 160, Kind: KPhaseEnd, Node: 0, A: int64(PhaseCreate), B: 100},
+		{Time: 170, Kind: KCommitted, Node: proto.None, B: 1},
+		{Time: 180, Kind: KRoundEnd, Node: proto.None, A: 0, B: 1},
+		{Time: 200, Kind: KFault, Node: 2, A: 1, B: 2},
+		{Time: 220, Kind: KRollback, Node: proto.None, A: 4, B: 2},
+		{Time: 240, Kind: KReconfig, Node: 3, A: 6},
+		{Time: 250, Kind: KQueueDepth, Node: proto.None, A: 5, B: 2},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	evs := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	// Every line must itself be valid JSON.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("round trip mismatch:\ngot  %v\nwant %v", got, evs)
+	}
+
+	// Writing the decoded stream again must reproduce the bytes exactly.
+	var buf2 bytes.Buffer
+	if err := WriteJSONL(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-encoded JSONL differs from original bytes")
+	}
+}
+
+func TestChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, 100_000_000, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	var phaseSpans, threads, counters int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			if ev["name"] == "create" {
+				phaseSpans++
+			}
+		case "M":
+			if ev["name"] == "thread_name" {
+				threads++
+			}
+		case "C":
+			counters++
+		}
+	}
+	if phaseSpans == 0 {
+		t.Error("no checkpoint-phase span in trace")
+	}
+	// 4 nodes (0..3 appear) + coordinator track.
+	if threads != 5 {
+		t.Errorf("thread_name metadata count = %d, want 5", threads)
+	}
+	if counters == 0 {
+		t.Error("no queue-depth counter events")
+	}
+}
+
+func TestMetricsFromEvents(t *testing.T) {
+	m := MetricsFromEvents(sampleEvents())
+	if m.ReadLatency.N != 1 || m.ReadLatency.Sum != 144 {
+		t.Errorf("read latency hist: n=%d sum=%d", m.ReadLatency.N, m.ReadLatency.Sum)
+	}
+	if m.WriteLat.N != 1 || m.WriteLat.Sum != 30 {
+		t.Errorf("write latency hist: n=%d sum=%d", m.WriteLat.N, m.WriteLat.Sum)
+	}
+	if m.InjectHops.N != 1 || m.InjectHops.Sum != 1 {
+		t.Errorf("inject hops hist: n=%d sum=%d", m.InjectHops.N, m.InjectHops.Sum)
+	}
+	if m.PhaseDur[PhaseCreate].N != 1 || m.PhaseDur[PhaseCreate].Sum != 100 {
+		t.Errorf("phase create hist: n=%d sum=%d",
+			m.PhaseDur[PhaseCreate].N, m.PhaseDur[PhaseCreate].Sum)
+	}
+	if m.QueueDepth[0].N != 1 || m.QueueDepth[0].Sum != 5 {
+		t.Errorf("queue depth hist: n=%d sum=%d", m.QueueDepth[0].N, m.QueueDepth[0].Sum)
+	}
+	if len(m.PerNode) != 4 {
+		t.Fatalf("per-node metrics for %d nodes, want 4", len(m.PerNode))
+	}
+	if m.PerNode[1].ReadLatency.N != 1 {
+		t.Error("node 1 read latency not attributed")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"observed events: 15",
+		"read miss latency",
+		"injection hops",
+		"phase create duration",
+		"mesh in-flight (request)",
+		"1 recovery points committed, 1 faults, 1 rollbacks (4 items lost)",
+		"per node",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

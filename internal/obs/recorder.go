@@ -1,0 +1,33 @@
+package obs
+
+// Recorder is the standard Observer: it buffers events in memory (in
+// emission order, which is deterministic for a seeded run) for export
+// once the simulation completes. A Mask drops unwanted kinds at
+// emission time, keeping filtered traces cheap to record.
+type Recorder struct {
+	mask   Mask
+	events []Event
+}
+
+// NewRecorder builds a Recorder keeping the kinds enabled in mask.
+func NewRecorder(mask Mask) *Recorder {
+	return &Recorder{mask: mask, events: make([]Event, 0, 1024)}
+}
+
+// Emit implements Observer.
+func (r *Recorder) Emit(ev Event) {
+	if !r.mask.Has(ev.Kind) {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events in emission order. The slice is
+// owned by the recorder; callers must not mutate it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset drops all recorded events, keeping the buffer.
+func (r *Recorder) Reset() { r.events = r.events[:0] }

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteSummary renders a human-readable report over an event stream:
+// per-kind event counts, fill-source breakdown, and the fixed-bucket
+// histograms (miss latency, injection hops, per-phase durations, mesh
+// queue depth) both machine-wide and per node.
+func WriteSummary(w io.Writer, events []Event) error {
+	var kindCount [numKinds]int64
+	var readSrc, writeSrc [3]int64
+	var faults, rollbacks, commits int64
+	var dropped int64
+	for i := range events {
+		ev := &events[i]
+		kindCount[ev.Kind]++
+		switch ev.Kind {
+		case KReadFill:
+			if ev.A >= 0 && ev.A < 3 {
+				readSrc[ev.A]++
+			}
+		case KWriteFill:
+			if ev.A >= 0 && ev.A < 3 {
+				writeSrc[ev.A]++
+			}
+		case KFault:
+			faults++
+		case KRollback:
+			rollbacks++
+			dropped += ev.A
+		case KCommitted:
+			commits++
+		case KState, KInjectProbe, KInjectAccept, KPhaseBegin, KPhaseEnd,
+			KRoundBegin, KRoundQuiesced, KRoundEnd, KReconfig, KQueueDepth:
+		}
+	}
+
+	var span int64
+	if n := len(events); n > 0 {
+		span = events[n-1].Time - events[0].Time
+	}
+	if _, err := fmt.Fprintf(w, "observed events: %d over %d cycles\n\n", len(events), span); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "event counts\n")
+	for k := Kind(0); k < numKinds; k++ {
+		if kindCount[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-16s %12d\n", k.String(), kindCount[k])
+	}
+	fmt.Fprintln(w)
+
+	if kindCount[KReadFill]+kindCount[KWriteFill] > 0 {
+		fmt.Fprintf(w, "miss fills by source      %10s %10s %10s\n", "local", "remote", "cold")
+		fmt.Fprintf(w, "  reads                   %10d %10d %10d\n", readSrc[0], readSrc[1], readSrc[2])
+		fmt.Fprintf(w, "  writes                  %10d %10d %10d\n", writeSrc[0], writeSrc[1], writeSrc[2])
+		fmt.Fprintln(w)
+	}
+	if commits+faults+rollbacks > 0 {
+		fmt.Fprintf(w, "recovery: %d recovery points committed, %d faults, %d rollbacks (%d items lost)\n\n",
+			commits, faults, rollbacks, dropped)
+	}
+
+	m := MetricsFromEvents(events)
+	writeHist(w, "read miss latency (cycles)", m.ReadLatency)
+	writeHist(w, "write miss latency (cycles)", m.WriteLat)
+	writeHist(w, "injection hops", m.InjectHops)
+	for p := Phase(0); p < NumPhases; p++ {
+		writeHist(w, fmt.Sprintf("phase %s duration (cycles)", p), m.PhaseDur[p])
+	}
+	writeHist(w, "mesh in-flight (request)", m.QueueDepth[0])
+	writeHist(w, "mesh in-flight (reply)", m.QueueDepth[1])
+
+	if len(m.PerNode) > 0 {
+		fmt.Fprintf(w, "per node%16s %14s %12s %14s %14s\n",
+			"read misses", "mean lat", "inj hops", "create cyc", "commit cyc")
+		for _, nm := range m.PerNode {
+			fmt.Fprintf(w, "  %-8s %13d %14.1f %12d %14d %14d\n",
+				nm.Node.String(), nm.ReadLatency.N, nm.ReadLatency.Mean(),
+				nm.InjectHops.N, nm.PhaseDur[PhaseCreate].Sum, nm.PhaseDur[PhaseCommit].Sum)
+		}
+	}
+	return nil
+}
+
+// writeHist renders one histogram as a bucket table with a bar sparkline.
+func writeHist(w io.Writer, title string, h *Hist) {
+	if h.N == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s: n=%d mean=%.1f min=%d max=%d\n", title, h.N, h.Mean(), h.Min, h.Max)
+	var peak int64 = 1
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		var label string
+		if i < len(h.Bounds) {
+			lo := int64(0)
+			if i > 0 {
+				lo = h.Bounds[i-1] + 1
+			}
+			label = fmt.Sprintf("%d..%d", lo, h.Bounds[i])
+		} else {
+			label = fmt.Sprintf(">%d", h.Bounds[len(h.Bounds)-1])
+		}
+		bar := int(c * 40 / peak)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(w, "  %16s %10d  %s\n", label, c, bars[:bar])
+	}
+	fmt.Fprintln(w)
+}
+
+const bars = "########################################"
