@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint comalint staticcheck bench bench-json check
+.PHONY: all build test race vet lint comalint staticcheck bench bench-json smoke-serve check
 
 all: check
 
@@ -45,6 +45,12 @@ bench:
 bench-json:
 	$(GO) run ./cmd/comabench -params bench -json BENCH_results.json >/dev/null
 	@cat BENCH_results.json
+
+# smoke-serve boots a comad daemon, submits the same tiny job twice,
+# and asserts the serving contract: cache hit, byte-identical result
+# payloads, metrics, graceful drain on SIGTERM (see README §Serving).
+smoke-serve:
+	bash scripts/smoke-serve.sh
 
 # check is the full tier-1 gate: everything CI enforces that can run
 # offline.

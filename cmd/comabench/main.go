@@ -14,9 +14,17 @@
 //	comabench -workers 1           # strictly serial execution
 //	comabench -json bench.json     # machine-readable perf record
 //	comabench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//
+// With -remote, every simulation executes on a comad daemon (README
+// §Serving) instead of in-process; the campaign's own scheduling,
+// memoisation and rendering are unchanged, and repeated campaigns
+// against a warm daemon resolve entirely from its result cache.
+//
+//	comabench -remote http://localhost:7700 -only fig6
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +38,10 @@ import (
 	"time"
 
 	"coma"
+	"coma/internal/config"
+	"coma/internal/server"
+	"coma/internal/server/client"
+	"coma/internal/stats"
 )
 
 func main() { os.Exit(run()) }
@@ -42,6 +54,7 @@ func run() int {
 		nodes      = flag.Int("nodes", 0, "override machine size for the frequency study")
 		seed       = flag.Uint64("seed", 0, "override campaign seed")
 		workers    = flag.Int("workers", 0, "max simulations in flight (0: GOMAXPROCS, 1: serial)")
+		remote     = flag.String("remote", "", "execute simulations on a comad daemon at this base URL")
 		jsonPath   = flag.String("json", "", "write a machine-readable perf record to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -70,6 +83,17 @@ func run() int {
 	p.Workers = *workers
 	if *verbose {
 		p.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+	if *remote != "" {
+		c := client.New(*remote)
+		if _, err := c.Health(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "comabench: daemon not reachable: %v\n", err)
+			return 1
+		}
+		p.Remote = func(id config.RunIdentity) (*stats.Run, error) {
+			run, _, err := c.Run(context.Background(), server.SpecForIdentity(id))
+			return run, err
+		}
 	}
 
 	if *cpuProfile != "" {

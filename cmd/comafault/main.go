@@ -54,6 +54,14 @@ func main() {
 		Invariants:   true,
 	}
 
+	// A scripted schedule and a drawn one answer different questions
+	// (deterministic reproduction vs a stochastic reliability model);
+	// merging them silently changed the meaning of both, so the
+	// combination is refused.
+	if *mtbf > 0 && len(fails) > 0 {
+		fmt.Fprintln(os.Stderr, "comafault: -mtbf and -fail are mutually exclusive: use a scripted schedule or a drawn one, not both")
+		os.Exit(2)
+	}
 	var failures []coma.Failure
 	for _, v := range fails {
 		f, err := parseFailure(v)

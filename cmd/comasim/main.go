@@ -16,9 +16,17 @@
 //
 //	comasim -app mp3d -protocol ecp -hz 400 -fail 800000:2 \
 //	    -trace-out run.trace.json -trace-out run.jsonl -metrics-out -
+//
+// With -remote, the run executes on a comad daemon (see README
+// §Serving) instead of in-process: the job is submitted over HTTP,
+// progress streams back live, and a repeated configuration is answered
+// from the daemon's result cache without simulating.
+//
+//	comasim -remote http://localhost:7700 -app mp3d -protocol ecp -hz 100 -scale 0.01
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +34,11 @@ import (
 	"strings"
 
 	"coma"
+	"coma/internal/config"
 	"coma/internal/proto"
 	"coma/internal/report"
+	"coma/internal/server"
+	"coma/internal/server/client"
 )
 
 type stringList []string
@@ -73,6 +84,8 @@ func main() {
 		strict   = flag.Bool("strict", false, "per-reference interleaving and oracle checks (slow)")
 		verify   = flag.Bool("invariants", false, "check recovery-data invariants at every commit")
 
+		remote = flag.String("remote", "", "run on a comad daemon at this base URL instead of in-process")
+
 		metricsOut = flag.String("metrics-out", "", "write the histogram summary to this file (\"-\" for stdout)")
 		obsFilter  = flag.String("obs-filter", "", "comma-separated event classes to record: state, fill, inject, ckpt, fault, net, all (default all)")
 		obsSample  = flag.Int64("obs-sample", 0, "mesh queue-depth sampling period in cycles (0: default)")
@@ -87,6 +100,13 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "comasim: unknown app %q\n", *appName)
 		os.Exit(2)
+	}
+	if *remote != "" {
+		if len(traceOuts) > 0 || *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "comasim: -trace-out/-metrics-out need an in-process run (drop -remote)")
+			os.Exit(2)
+		}
+		os.Exit(runRemote(*remote, remoteSpec(*appName, *nodes, *protocol, *hz, *scale, *seed, *modern, *strict, *verify, failures)))
 	}
 	cfg := coma.Config{
 		Nodes:        *nodes,
@@ -136,6 +156,54 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// remoteSpec translates the CLI flags into the daemon's job spec; the
+// daemon applies the same canonicalisation as a local run (Scale
+// resolves against the preset budget, Modern/KSR1 against nodes), so
+// identical flags map to the same cache entry everywhere.
+func remoteSpec(app string, nodes int, protocol string, hz, scale float64, seed uint64, modern, strict, invariants bool, failures failureFlags) server.JobSpec {
+	spec := server.JobSpec{
+		App:          app,
+		Nodes:        nodes,
+		Protocol:     protocol,
+		Scale:        scale,
+		Seed:         seed,
+		Modern:       modern,
+		Strict:       strict,
+		Invariants:   invariants,
+		CheckpointHz: hz,
+	}
+	if protocol == "standard" {
+		spec.CheckpointHz = 0
+	}
+	for _, f := range failures {
+		spec.Failures = append(spec.Failures, config.FailureEvent{At: f.At, Node: f.Node, Permanent: f.Permanent})
+	}
+	return spec
+}
+
+// runRemote submits the job to a comad daemon, streams its progress to
+// stderr, and prints the result exactly like a local run.
+func runRemote(base string, spec server.JobSpec) int {
+	c := client.New(base)
+	res, st, err := c.RunStreaming(context.Background(), spec, func(ev server.JobEvent) {
+		switch ev.Type {
+		case "state":
+			fmt.Fprintf(os.Stderr, "remote: %s\n", ev.State)
+		case "progress":
+			fmt.Fprintf(os.Stderr, "remote: [cycle %d] %s\n", ev.SimCycles, ev.Message)
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
+		return 1
+	}
+	if st.Cache == "hit" {
+		fmt.Fprintf(os.Stderr, "remote: served from cache (job %s)\n", st.ID[:12])
+	}
+	printResult(res)
+	return 0
 }
 
 // exportObservations writes the recorded event stream to every requested

@@ -56,6 +56,13 @@ type Params struct {
 	// are byte-identical for every worker count: each run owns a
 	// private sim.Engine and RNG streams derived only from the seed.
 	Workers int
+	// Remote, when non-nil, executes runs through an external service
+	// (the comad daemon) instead of in-process: the suite hands it the
+	// canonical identity of each distinct run and renders whatever
+	// results come back. Identities are exactly the ones the daemon uses
+	// as cache keys, so a campaign re-run against a warm daemon is
+	// served entirely from its content-addressed store.
+	Remote func(config.RunIdentity) (*stats.Run, error)
 }
 
 // Quick returns a laptop-scale campaign: runs long enough that even the
@@ -108,9 +115,12 @@ func (p Params) scaled(app workload.Spec) workload.Spec {
 	return app.Scale(float64(p.TargetInstructions) / float64(app.Instructions))
 }
 
-// runKey identifies one distinct simulation of a campaign. It is the
-// memoisation key of the suite's worker pool: every figure that needs
-// the same configuration shares one run.
+// runKey carries the parameters of one distinct simulation of a
+// campaign. The memoisation key of the suite's worker pool is NOT this
+// struct but the canonical config.RunIdentity hash derived from it (see
+// Suite.identity): every figure that needs the same configuration shares
+// one run, and the key it shares is byte-for-byte the key the comad
+// daemon uses for its content-addressed result cache.
 type runKey struct {
 	app      string
 	nodes    int
@@ -120,13 +130,40 @@ type runKey struct {
 	modern   bool // the faster-processor architecture preset
 }
 
+// hz returns the recovery-point frequency the key encodes.
+func (k runKey) hz() float64 { return float64(k.hzMilli) / 1000 }
+
+// identity expands a run key into the repository-wide canonical run
+// identity (internal/config). Everything execute feeds into
+// machine.Config must be represented here — a field that influences the
+// result but not the identity would let two different runs collide in
+// the memoisation pool and in the daemon's cache.
+func (s *Suite) identity(key runKey, app workload.Spec) config.RunIdentity {
+	arch := config.KSR1(key.nodes)
+	if key.modern {
+		arch = config.Modern(key.nodes)
+	}
+	return config.RunIdentity{
+		Arch:               arch,
+		Protocol:           key.protocol.String(),
+		NoReplicationReuse: key.opts.NoReplicationReuse,
+		NoSharedCKReads:    key.opts.NoSharedCKReads,
+		App:                app.Name,
+		Instructions:       s.P.scaled(app).Instructions,
+		Seed:               s.P.Seed,
+		CheckpointHz:       key.hz(),
+		Oracle:             true,
+		MaxCycles:          1 << 40,
+	}
+}
+
 // Suite memoises simulation runs across the experiment functions and
 // executes them on a bounded worker pool (Params.Workers). Rendering is
 // unchanged by parallelism: methods block until the runs they need are
 // done, and every run is bit-identical to its serial execution.
 type Suite struct {
 	P    Params
-	pool *runner.Pool[runKey, *stats.Run]
+	pool *runner.Pool[string, *stats.Run]
 
 	progressMu sync.Mutex
 
@@ -146,7 +183,7 @@ func NewSuite(p Params) *Suite {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Suite{P: p, pool: runner.New[runKey, *stats.Run](workers)}
+	return &Suite{P: p, pool: runner.New[string, *stats.Run](workers)}
 }
 
 // Totals reports the simulations actually executed so far (shared,
@@ -161,7 +198,8 @@ func (s *Suite) Run(app workload.Spec, nodes int, hz float64,
 	protocol coherence.Protocol, opts coherence.Options) (*stats.Run, error) {
 
 	key := runKey{app.Name, nodes, int64(hz * 1000), protocol, opts, false}
-	return s.pool.Get(key, func() (*stats.Run, error) { return s.execute(key, app, hz) })
+	return s.pool.Get(s.identity(key, app).Hash(),
+		func() (*stats.Run, error) { return s.execute(key, app) })
 }
 
 // start schedules one configuration on the worker pool without waiting
@@ -170,28 +208,39 @@ func (s *Suite) start(app workload.Spec, nodes int, hz float64,
 	protocol coherence.Protocol, opts coherence.Options, modern bool) {
 
 	key := runKey{app.Name, nodes, int64(hz * 1000), protocol, opts, modern}
-	s.pool.Start(key, func() (*stats.Run, error) { return s.execute(key, app, hz) })
+	s.pool.Start(s.identity(key, app).Hash(),
+		func() (*stats.Run, error) { return s.execute(key, app) })
 }
 
 // execute performs one simulation. It runs on a pool worker; everything
 // it touches is either private to the run (machine, engine, RNG
-// streams) or synchronised (progress, counters).
-func (s *Suite) execute(key runKey, app workload.Spec, hz float64) (*stats.Run, error) {
-	s.progress(fmt.Sprintf("running %s on %d nodes, %s, %g recovery points/s",
-		app.Name, key.nodes, key.protocol, hz))
-	arch := config.KSR1(key.nodes)
-	if key.modern {
-		arch = config.Modern(key.nodes)
+// streams) or synchronised (progress, counters). With Params.Remote set
+// the run is delegated to the external service instead.
+func (s *Suite) execute(key runKey, app workload.Spec) (*stats.Run, error) {
+	id := s.identity(key, app)
+	if s.P.Remote != nil {
+		s.progress(fmt.Sprintf("remote %s on %d nodes, %s, %g recovery points/s",
+			app.Name, key.nodes, key.protocol, key.hz()))
+		r, err := s.P.Remote(id)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/%d/%s: %w", app.Name, key.nodes, key.protocol, err)
+		}
+		s.runs.Add(1)
+		s.cycles.Add(r.Cycles)
+		s.events.Add(r.Events)
+		return r, nil
 	}
+	s.progress(fmt.Sprintf("running %s on %d nodes, %s, %g recovery points/s",
+		app.Name, key.nodes, key.protocol, key.hz()))
 	cfg := machine.Config{
-		Arch:         arch,
+		Arch:         id.Arch,
 		Protocol:     key.protocol,
 		Opts:         key.opts,
 		App:          s.P.scaled(app),
 		Seed:         s.P.Seed,
-		CheckpointHz: hz,
+		CheckpointHz: key.hz(),
 		Oracle:       true,
-		MaxCycles:    1 << 40,
+		MaxCycles:    id.MaxCycles,
 	}
 	m, err := machine.New(cfg)
 	if err != nil {
@@ -230,5 +279,6 @@ func (s *Suite) ecp(app workload.Spec, nodes int, hz float64) (*stats.Run, error
 // "modern arch" column), memoised and scheduled like every other run.
 func (s *Suite) modernRun(app workload.Spec, hz float64, protocol coherence.Protocol) (*stats.Run, error) {
 	key := runKey{app.Name, s.P.Nodes, int64(hz * 1000), protocol, coherence.Options{}, true}
-	return s.pool.Get(key, func() (*stats.Run, error) { return s.execute(key, app, hz) })
+	return s.pool.Get(s.identity(key, app).Hash(),
+		func() (*stats.Run, error) { return s.execute(key, app) })
 }

@@ -24,10 +24,12 @@ type Event struct {
 // Plan is an ordered failure schedule.
 type Plan []Event
 
-// Validate checks that the plan is ordered and names valid nodes, and
-// that no two failures are simultaneous (two overlapping failures can
-// defeat the two-copy recovery scheme; schedule them apart unless data
-// loss is the point of the experiment).
+// Validate checks that the plan is time-ordered, starts at cycle 0 or
+// later, and names only nodes that exist. Simultaneous failures are
+// legal: Exponential can draw coincident events, and overlapping
+// failures are exactly how data-loss experiments defeat the two-copy
+// scheme on purpose (the machine reports ErrDataLoss at run time when
+// that happens).
 func (p Plan) Validate(nodes int) error {
 	for i, e := range p {
 		if int(e.Node) < 0 || int(e.Node) >= nodes {

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"strings"
 	"testing"
 
 	"coma/internal/proto"
@@ -20,17 +21,45 @@ func TestSingle(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
-	bad := Plan{{At: 10, Node: 9}}
-	if bad.Validate(8) == nil {
-		t.Error("out-of-range node accepted")
+	cases := []struct {
+		name    string
+		plan    Plan
+		nodes   int
+		wantErr string // "" means the plan is valid
+	}{
+		{"empty plan", nil, 8, ""},
+		{"single event", Plan{{At: 10, Node: 3}}, 8, ""},
+		{"ordered events", Plan{{At: 10, Node: 1}, {At: 20, Node: 2}}, 8, ""},
+		{"boundary node", Plan{{At: 10, Node: 7}}, 8, ""},
+		{"cycle zero", Plan{{At: 0, Node: 0}}, 8, ""},
+		// Simultaneous failures are legal by design: Exponential can draw
+		// coincident events, and data-loss experiments rely on them.
+		{"simultaneous events", Plan{{At: 10, Node: 1}, {At: 10, Node: 2}}, 8, ""},
+		{"same node twice", Plan{{At: 10, Node: 1}, {At: 20, Node: 1}}, 8, ""},
+
+		{"node beyond machine", Plan{{At: 10, Node: 9}}, 8, "names node n9 of 8"},
+		{"node equals machine size", Plan{{At: 10, Node: 8}}, 8, "names node n8 of 8"},
+		{"negative node", Plan{{At: 10, Node: proto.NodeID(-1)}}, 8, "of 8"},
+		{"negative time", Plan{{At: -1, Node: 1}}, 8, "negative time -1"},
+		{"out of order", Plan{{At: 10, Node: 1}, {At: 5, Node: 2}}, 8, "out of order at 1"},
+		{"later event bad node", Plan{{At: 10, Node: 1}, {At: 20, Node: 8}}, 8, "event 1 names node n8"},
 	}
-	bad = Plan{{At: 10, Node: 1}, {At: 5, Node: 2}}
-	if bad.Validate(8) == nil {
-		t.Error("out-of-order plan accepted")
-	}
-	bad = Plan{{At: -1, Node: 1}}
-	if bad.Validate(8) == nil {
-		t.Error("negative time accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(tc.nodes)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate(%d) = %v, want nil", tc.nodes, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate(%d) accepted an invalid plan", tc.nodes)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -31,6 +31,14 @@ func TestSimBlockingFlagsRunnerShapedCode(t *testing.T) {
 	analysistest.Run(t, analyzers.SimBlocking, "testdata/src/runnerlike")
 }
 
+// TestSimBlockingFlagsServerShapedCode does the same for the comad
+// daemon's constructs (event broadcast, drain, SSE follow loop): the
+// serverlike fixture reproduces them outside the allowlisted
+// internal/server package and every one is diagnosed.
+func TestSimBlockingFlagsServerShapedCode(t *testing.T) {
+	analysistest.Run(t, analyzers.SimBlocking, "testdata/src/serverlike")
+}
+
 func TestDeterminismScope(t *testing.T) {
 	for path, want := range map[string]bool{
 		"coma/internal/sim":                true,
@@ -40,6 +48,9 @@ func TestDeterminismScope(t *testing.T) {
 		"coma/internal/obs":                true,
 		"coma/internal/experiments":        true,
 		"coma/internal/experiments/runner": false, // ConcurrencyAllowlist
+		"coma/internal/server":             false, // ConcurrencyAllowlist
+		"coma/internal/server/client":      false, // ConcurrencyAllowlist
+		"coma/internal/server/future":      true,  // subtree default: checked
 		"coma/internal/machine":            false,
 		"coma/internal/proto":              false,
 		"coma/cmd/comasim":                 false,
@@ -57,6 +68,9 @@ func TestSimBlockingScope(t *testing.T) {
 		"coma/internal/snoop":              true,
 		"coma/internal/experiments":        true,
 		"coma/internal/experiments/runner": false, // ConcurrencyAllowlist
+		"coma/internal/server":             false, // ConcurrencyAllowlist
+		"coma/internal/server/client":      false, // ConcurrencyAllowlist
+		"coma/internal/server/future":      true,  // subtree default: checked
 		"coma/internal/sim":                false, // implements the primitives
 		"coma/internal/proto":              false,
 		"coma/cmd/comasim":                 false,

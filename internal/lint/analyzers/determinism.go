@@ -34,8 +34,11 @@ var Determinism = &analysis.Analyzer{
 // the deterministic core of the simulator, the observability layer
 // (whose exported traces promise byte-identical same-seed replay), plus
 // the experiment campaign subtree (whose tables promise bit-identical
-// output for every worker count). Packages on the ConcurrencyAllowlist
-// are exempt.
+// output for every worker count) and the serving subtree (whose result
+// cache promises byte-identical payloads per run identity). Packages on
+// the ConcurrencyAllowlist are exempt — which today covers the server
+// and client packages themselves, so the subtree rule guards future
+// sub-packages by default.
 func DeterminismScope(pkgPath string) bool {
 	if allowlisted(pkgPath) {
 		return false
@@ -48,7 +51,8 @@ func DeterminismScope(pkgPath string) bool {
 		strings.HasSuffix(pkgPath, "internal/obs"):
 		return true
 	}
-	return inSubtree(pkgPath, "internal/experiments")
+	return inSubtree(pkgPath, "internal/experiments") ||
+		inSubtree(pkgPath, "internal/server")
 }
 
 // rngFile is the one file allowed to touch PRNG internals.

@@ -16,6 +16,20 @@ var ConcurrencyAllowlist = map[string]string{
 	// results are bit-identical for any worker schedule (asserted by
 	// TestParallelMatchesSerial in internal/experiments).
 	"coma/internal/experiments/runner": "campaign worker pool; determinism by per-run isolation",
+
+	// The comad daemon is host-side serve-layer concurrency: HTTP
+	// handlers, the job scheduler and graceful drain run real goroutines
+	// and channels around whole simulations (scheduled through the
+	// allowlisted runner pool), never inside one. Determinism is
+	// preserved the same way as the campaign's — per-run isolation —
+	// and asserted by the 32-way coalescing test in dedupe_test.go,
+	// which requires byte-identical payloads from one shared run.
+	"coma/internal/server": "comad daemon; host-side HTTP/scheduler concurrency around isolated runs",
+
+	// The daemon's client blocks on HTTP I/O and Retry-After backoff
+	// (wall-clock by nature: it paces requests to a real network
+	// service); it never runs under a sim.Engine.
+	"coma/internal/server/client": "comad HTTP client; wall-clock backoff against a real service",
 }
 
 // allowlisted reports whether a package path has a ConcurrencyAllowlist

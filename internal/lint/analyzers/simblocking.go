@@ -25,11 +25,13 @@ var SimBlocking = &analysis.Analyzer{
 
 // SimBlockingScope reports whether the analyzer applies to a package:
 // everything that executes inside simulated processes, plus the
-// experiment campaign subtree (render paths must not grow ad-hoc
-// blocking; pooled execution lives behind the allowlisted runner).
-// internal/sim itself is exempt (it implements the primitives on real
-// channels), as are the cmd/ and examples/ mains, which run outside the
-// engine, and ConcurrencyAllowlist packages.
+// experiment campaign and serving subtrees (render and API-shape code
+// must not grow ad-hoc blocking; pooled execution lives behind the
+// allowlisted runner, and the allowlisted daemon/client packages carry
+// their own justified concurrency). internal/sim itself is exempt (it
+// implements the primitives on real channels), as are the cmd/ and
+// examples/ mains, which run outside the engine, and
+// ConcurrencyAllowlist packages.
 func SimBlockingScope(pkgPath string) bool {
 	if allowlisted(pkgPath) {
 		return false
@@ -43,7 +45,8 @@ func SimBlockingScope(pkgPath string) bool {
 			return true
 		}
 	}
-	return inSubtree(pkgPath, "internal/experiments")
+	return inSubtree(pkgPath, "internal/experiments") ||
+		inSubtree(pkgPath, "internal/server")
 }
 
 func runSimBlocking(pass *analysis.Pass) (interface{}, error) {

@@ -1,0 +1,68 @@
+// Fixture shaped like internal/server: a job scheduler with an event
+// broadcast (close-and-replace wake channel), a graceful drain built on
+// WaitGroup.Wait behind a select, and an SSE-style follow loop. The
+// real daemon is exempt through the ConcurrencyAllowlist; this package
+// is not, proving that daemon-shaped concurrency anywhere else in the
+// checked subtrees is still diagnosed — a new sub-package of
+// internal/server gets flagged until it earns its own allowlist entry.
+package fixture
+
+import "sync"
+
+type job struct {
+	state string
+	wake  chan struct{}
+	done  chan struct{}
+}
+
+type sched struct {
+	mu       sync.Mutex
+	jobs     map[string]*job
+	inflight sync.WaitGroup
+}
+
+func (s *sched) finish(j *job) {
+	s.mu.Lock()
+	j.state = "done"
+	close(j.done)
+	close(j.wake)
+	j.wake = make(chan struct{})
+	s.mu.Unlock()
+}
+
+func (s *sched) start(j *job, run func()) {
+	s.inflight.Add(1)
+	go func() { // want `raw goroutine escapes the engine's wake/yield handshake`
+		defer s.inflight.Done()
+		run()
+		s.finish(j)
+	}()
+}
+
+func (s *sched) follow(j *job, emit func(string)) {
+	for {
+		s.mu.Lock()
+		state := j.state
+		wake := j.wake
+		s.mu.Unlock()
+		emit(state)
+		if state == "done" {
+			return
+		}
+		<-wake // want `raw channel receive blocks the real goroutine`
+	}
+}
+
+func (s *sched) drain(cancelled chan struct{}) bool {
+	done := make(chan struct{})
+	go func() { // want `raw goroutine escapes the engine's wake/yield handshake`
+		s.inflight.Wait() // want `sync.WaitGroup.Wait blocks outside simulated time`
+		close(done)
+	}()
+	select { // want `select blocks on real channels`
+	case <-done: // want `raw channel receive blocks the real goroutine`
+		return true
+	case <-cancelled: // want `raw channel receive blocks the real goroutine`
+		return false
+	}
+}

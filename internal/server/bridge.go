@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+
+	"coma/internal/obs"
+)
+
+// progressBridge adapts the simulator's observability stream into a
+// job's SSE event log. It forwards only the low-frequency lifecycle
+// kinds (checkpoint rounds, commits, faults, rollbacks, reconfiguration)
+// and drops the per-reference hot-path kinds with a single switch, so a
+// streamed job pays one cheap Emit call per protocol event and one
+// allocation per forwarded line.
+//
+// Events are stamped with simulated time only (the obswallclock
+// analyzer enforces that no method of this type reads the wall clock);
+// the wall-clock job timeline lives on the job itself.
+type progressBridge struct {
+	publish func(msg string, simCycles int64)
+}
+
+// Emit implements obs.Observer.
+func (b *progressBridge) Emit(e obs.Event) {
+	switch e.Kind {
+	case obs.KRoundBegin:
+		b.publish(fmt.Sprintf("%s round %d begin", roundMode(e.A), e.B), e.Time)
+	case obs.KRoundQuiesced:
+		b.publish(fmt.Sprintf("round %d quiesced", e.B), e.Time)
+	case obs.KCommitted:
+		b.publish(fmt.Sprintf("recovery point %d committed", e.B), e.Time)
+	case obs.KRoundEnd:
+		b.publish(fmt.Sprintf("%s round %d end", roundMode(e.A), e.B), e.Time)
+	case obs.KFault:
+		b.publish(fmt.Sprintf("node %d failed (%s)", e.Node, permanence(e.A)), e.Time)
+	case obs.KRollback:
+		b.publish(fmt.Sprintf("rollback on node %d: %d items dropped", e.Node, e.A), e.Time)
+	case obs.KReconfig:
+		b.publish(fmt.Sprintf("node %d reconfigured: %d copies re-created", e.Node, e.A), e.Time)
+	case obs.KState, obs.KReadFill, obs.KWriteFill, obs.KInjectProbe,
+		obs.KInjectAccept, obs.KPhaseBegin, obs.KPhaseEnd, obs.KQueueDepth:
+		// Hot-path kinds: dropped.
+	}
+}
+
+func roundMode(a int64) string {
+	if a == 0 {
+		return "checkpoint"
+	}
+	return "recovery"
+}
+
+func permanence(a int64) string {
+	if a != 0 {
+		return "permanent"
+	}
+	return "transient"
+}

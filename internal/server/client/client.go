@@ -1,0 +1,289 @@
+// Package client is the typed Go client for the comad daemon
+// (internal/server): submit jobs, wait for or stream their progress,
+// and fetch canonical result payloads. The comasim and comabench
+// -remote modes are built on it.
+//
+// All methods are synchronous — the client spawns no goroutines; the
+// only blocking it does is HTTP I/O and the Retry-After backoff on a
+// 429, both bounded by the caller's context.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"coma/internal/server"
+	"coma/internal/stats"
+)
+
+// Client talks to one comad daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. "http://localhost:7700").
+// The underlying http.Client has no timeout — simulations can run for
+// minutes; bound calls with a context instead.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiError is a non-2xx response decoded from the daemon's error body.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("comad: %d: %s", e.Status, e.Msg)
+}
+
+func decodeError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(raw, &body) != nil || body.Error == "" {
+		body.Error = strings.TrimSpace(string(raw))
+	}
+	return &apiError{Status: resp.StatusCode, Msg: body.Error}
+}
+
+// Submit posts a job. With wait, the call blocks until the job is
+// terminal and the returned status carries the result payload. A 429 is
+// retried after the daemon's Retry-After hint until ctx expires.
+func (c *Client) Submit(ctx context.Context, spec server.JobSpec, wait bool) (server.JobStatus, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	url := c.base + "/v1/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			return server.JobStatus{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return server.JobStatus{}, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			delay := retryAfter(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return server.JobStatus{}, ctx.Err()
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return server.JobStatus{}, decodeError(resp)
+		}
+		var st server.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return server.JobStatus{}, fmt.Errorf("comad: decoding job status: %w", err)
+		}
+		return st, nil
+	}
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
+}
+
+// Run submits, waits, and decodes the result: the blocking "give me the
+// statistics for this configuration" call. The returned status carries
+// the cache outcome and the raw payload.
+func (c *Client) Run(ctx context.Context, spec server.JobSpec) (*stats.Run, server.JobStatus, error) {
+	st, err := c.Submit(ctx, spec, true)
+	if err != nil {
+		return nil, st, err
+	}
+	run, err := decodeResult(st)
+	return run, st, err
+}
+
+// RunStreaming submits asynchronously, forwards every job event to
+// onEvent as it happens, and returns the decoded result once the job is
+// terminal. A submission that resolves from the cache skips straight to
+// the result.
+func (c *Client) RunStreaming(ctx context.Context, spec server.JobSpec, onEvent func(server.JobEvent)) (*stats.Run, server.JobStatus, error) {
+	spec.Progress = true
+	st, err := c.Submit(ctx, spec, false)
+	if err != nil {
+		return nil, st, err
+	}
+	if !st.State.Terminal() {
+		if err := c.Follow(ctx, st.ID, onEvent); err != nil {
+			return nil, st, err
+		}
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		return nil, st, err
+	}
+	final.Cache = st.Cache
+	run, err := decodeResult(final)
+	return run, final, err
+}
+
+func decodeResult(st server.JobStatus) (*stats.Run, error) {
+	if st.State != server.StateDone {
+		msg := st.Error
+		if msg == "" {
+			msg = "no result"
+		}
+		return nil, fmt.Errorf("comad: job %s is %s: %s", shortID(st.ID), st.State, msg)
+	}
+	var run stats.Run
+	if err := json.Unmarshal(st.Result, &run); err != nil {
+		return nil, fmt.Errorf("comad: decoding result payload: %w", err)
+	}
+	return &run, nil
+}
+
+// Status fetches a job; terminal done jobs include the result payload.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.getJSON(ctx, "/v1/jobs/"+id, &st)
+	return st, err
+}
+
+// Result fetches the raw canonical result payload.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Cancel cancels a queued job.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.JobStatus{}, decodeError(resp)
+	}
+	var st server.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// Follow subscribes to a job's SSE stream and forwards each event to fn,
+// returning when the job reaches a terminal state (the daemon closes the
+// stream after the final state event) or ctx expires.
+func (c *Client) Follow(ctx context.Context, id string, fn func(server.JobEvent)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for scanner.Scan() {
+		data, ok := strings.CutPrefix(scanner.Text(), "data: ")
+		if !ok {
+			continue // id:, event:, blank separators
+		}
+		var ev server.JobEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("comad: bad event frame %q: %w", data, err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+	}
+	return scanner.Err()
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (server.Health, error) {
+	var h server.Health
+	err := c.getJSON(ctx, "/healthz", &h)
+	return h, err
+}
+
+// Metrics fetches the raw Prometheus exposition from /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coma/internal/config"
+	"coma/internal/obs"
+	"coma/internal/stats"
+)
+
+// TestConcurrentIdenticalSubmissionsRunOnce is the coalescing acceptance
+// test: 32 goroutines submit the same configuration simultaneously and
+// exactly one simulation executes; all 32 responses carry byte-identical
+// result payloads. Run under -race, this also shakes out scheduler data
+// races between admit, execute and the waiters.
+func TestConcurrentIdenticalSubmissionsRunOnce(t *testing.T) {
+	var runs atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var startOnce sync.Once
+	_, ts := newTestServer(t, Options{
+		Workers: 4, QueueDepth: 64,
+		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+			runs.Add(1)
+			startOnce.Do(func() { close(started) })
+			<-release // hold the run so every submission arrives in-flight
+			return fakeRun(id), nil
+		},
+	})
+
+	const clients = 32
+	bodies := make([][]byte, clients)
+	caches := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json",
+				strings.NewReader(specJSON(99)))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			var st JobStatus
+			if err := json.Unmarshal(raw, &st); err != nil {
+				t.Errorf("client %d: decoding %q: %v", i, raw, err)
+				return
+			}
+			if st.State != StateDone {
+				t.Errorf("client %d: state %s, want done", i, st.State)
+			}
+			bodies[i] = st.Result
+			caches[i] = st.Cache
+		}(i)
+	}
+
+	// Release the (single) run once it has started and every client has
+	// had a chance to pile on; the exact interleaving doesn't matter for
+	// the run count — identical identities coalesce whether they arrive
+	// before, during or after the leader's execution.
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("runner executed %d times for %d identical submissions, want 1", got, clients)
+	}
+	misses := 0
+	for i, c := range caches {
+		if c == "miss" {
+			misses++
+		}
+		if len(bodies[i]) == 0 {
+			t.Fatalf("client %d: empty result payload", i)
+		}
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("client %d: payload differs from client 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d cache misses, want exactly 1 (the leader)", misses)
+	}
+}
+
+// TestDistinctSeedsDoNotCoalesce guards the inverse property: any field
+// in the run identity separates jobs.
+func TestDistinctSeedsDoNotCoalesce(t *testing.T) {
+	var runs atomic.Int64
+	_, ts := newTestServer(t, Options{Workers: 4, Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+		runs.Add(1)
+		return fakeRun(id), nil
+	}})
+	var wg sync.WaitGroup
+	for seed := uint64(1); seed <= 8; seed++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json",
+				strings.NewReader(specJSON(seed)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}(seed)
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 8 {
+		t.Fatalf("runner executed %d times for 8 distinct seeds, want 8", got)
+	}
+}
+
+// TestPersistentStoreServesAcrossRestart: a second daemon instance with
+// the same cache directory and revision answers a repeated submission
+// from the store without running anything.
+func TestPersistentStoreServesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	runner := func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+		runs.Add(1)
+		return fakeRun(id), nil
+	}
+
+	_, ts1 := newTestServer(t, Options{Workers: 1, CacheDir: dir, Revision: "r1", Runner: runner})
+	_, first := postJob(t, ts1, specJSON(5), true)
+	if first.State != StateDone || first.Cache != "miss" {
+		t.Fatalf("first run: state %s cache %s, want done/miss", first.State, first.Cache)
+	}
+
+	_, ts2 := newTestServer(t, Options{Workers: 1, CacheDir: dir, Revision: "r1", Runner: runner})
+	resp, second := postJob(t, ts2, specJSON(5), false)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restart hit: status %d, want 200", resp.StatusCode)
+	}
+	if second.Cache != "hit" || second.State != StateDone {
+		t.Fatalf("restart: cache %s state %s, want hit/done", second.Cache, second.State)
+	}
+	if string(second.Result) != string(first.Result) {
+		t.Fatalf("restart served different bytes than the original run")
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runner executed %d times across restart, want 1", runs.Load())
+	}
+
+	// A different revision must not see the old entry.
+	_, ts3 := newTestServer(t, Options{Workers: 1, CacheDir: dir, Revision: "r2", Runner: runner})
+	_, third := postJob(t, ts3, specJSON(5), true)
+	if third.Cache != "miss" {
+		t.Fatalf("new revision: cache %s, want miss", third.Cache)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("runner executed %d times, want 2 after revision change", runs.Load())
+	}
+}

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"coma/internal/config"
+	"coma/internal/fault"
+	"coma/internal/proto"
+	"coma/internal/workload"
+)
+
+// State is a job's position in its lifecycle. The machine is strictly
+// forward: queued -> running -> done|failed, with cancelled reachable
+// only from queued (a running simulation is never killed; see DESIGN.md
+// §22).
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the wire format of POST /v1/jobs: a validated simulation
+// request. The zero value of every optional field means "the default",
+// so a minimal submission is {"app":"mp3d","nodes":4,"protocol":"ecp"}.
+type JobSpec struct {
+	// App names a workload preset (barnes, cholesky, mp3d, water,
+	// uniform, private, migratory).
+	App string `json:"app"`
+	// Nodes is the machine size (ignored when Arch is given).
+	Nodes int `json:"nodes"`
+	// Protocol is "standard" or "ecp".
+	Protocol string `json:"protocol"`
+	// Scale multiplies the preset's instruction budget (0 means 1.0,
+	// the paper's full budgets — minutes of simulation).
+	Scale float64 `json:"scale,omitempty"`
+	// Instructions overrides Scale with an absolute budget.
+	Instructions int64 `json:"instructions,omitempty"`
+	// CheckpointHz is the recovery-point frequency (ECP only).
+	CheckpointHz float64 `json:"hz,omitempty"`
+	// CheckpointInterval overrides CheckpointHz with a period in cycles.
+	CheckpointInterval int64 `json:"checkpoint_interval,omitempty"`
+	// Seed makes the run deterministic (and is part of the cache key).
+	Seed uint64 `json:"seed,omitempty"`
+	// Modern selects the faster-processor preset (ignored with Arch).
+	Modern bool `json:"modern,omitempty"`
+	// Arch overrides the derived architecture with explicit parameters.
+	Arch *config.Arch `json:"arch,omitempty"`
+	// Failures is the scripted failure schedule (ECP only); it is
+	// canonicalised into time order.
+	Failures []config.FailureEvent `json:"failures,omitempty"`
+	// Ablation switches.
+	NoReplicationReuse bool `json:"no_replication_reuse,omitempty"`
+	NoSharedCKReads    bool `json:"no_shared_ck_reads,omitempty"`
+	// NoOracle disables end-to-end value verification (on by default).
+	NoOracle bool `json:"no_oracle,omitempty"`
+	// Strict and Invariants enable the slow correctness machinery.
+	Strict     bool `json:"strict,omitempty"`
+	Invariants bool `json:"invariants,omitempty"`
+	// MaxCycles aborts runaway simulations (0: a generous default).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+
+	// DeadlineMS bounds the time a job may wait in the queue: a job
+	// still queued after this many wall milliseconds fails instead of
+	// running. 0 means no deadline. Not part of the run identity.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Progress attaches an observability bridge to the run so the
+	// job's SSE stream carries live checkpoint/fault/rollback progress.
+	// Costs a few percent of simulation throughput; never changes the
+	// result (the observability layer is stats-neutral). Not part of
+	// the run identity.
+	Progress bool `json:"progress,omitempty"`
+}
+
+// Validate checks the spec and returns a descriptive error for the
+// first violated constraint.
+func (sp JobSpec) Validate() error {
+	if _, ok := workload.ByName(sp.App); !ok {
+		return fmt.Errorf("unknown app %q", sp.App)
+	}
+	switch sp.Protocol {
+	case "standard":
+		if sp.CheckpointHz != 0 || sp.CheckpointInterval != 0 {
+			return fmt.Errorf("checkpointing requires the ecp protocol")
+		}
+		if len(sp.Failures) > 0 {
+			return fmt.Errorf("failure injection requires the ecp protocol")
+		}
+	case "ecp":
+	default:
+		return fmt.Errorf("unknown protocol %q (want standard or ecp)", sp.Protocol)
+	}
+	if sp.Scale < 0 || sp.Instructions < 0 {
+		return fmt.Errorf("negative instruction budget")
+	}
+	if sp.CheckpointHz < 0 || sp.CheckpointInterval < 0 {
+		return fmt.Errorf("negative checkpoint frequency")
+	}
+	if sp.MaxCycles < 0 || sp.DeadlineMS < 0 {
+		return fmt.Errorf("negative limit")
+	}
+	nodes := sp.Nodes
+	if sp.Arch != nil {
+		if err := sp.Arch.Validate(); err != nil {
+			return err
+		}
+		nodes = sp.Arch.Nodes
+	} else if sp.Nodes < 1 {
+		return fmt.Errorf("nodes = %d, need >= 1", sp.Nodes)
+	}
+	if len(sp.Failures) > 0 {
+		plan := make(fault.Plan, len(sp.Failures))
+		for i, f := range sp.Failures {
+			plan[i] = fault.Event{At: f.At, Node: proto.NodeID(f.Node), Permanent: f.Permanent}
+		}
+		plan.Sort()
+		if err := plan.Validate(nodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Identity canonicalises a validated spec into the repository-wide run
+// identity (internal/config): scaling is resolved to an absolute
+// instruction budget, the architecture to a full parameter set, and the
+// failure schedule to time order, so every spec that means the same run
+// hashes to the same content address. Fields that do not influence the
+// result (DeadlineMS, Progress) are excluded by construction.
+func (sp JobSpec) Identity(revision string) (config.RunIdentity, error) {
+	if err := sp.Validate(); err != nil {
+		return config.RunIdentity{}, err
+	}
+	app, _ := workload.ByName(sp.App)
+	instructions := sp.Instructions
+	if instructions == 0 {
+		instructions = app.Instructions
+		if sp.Scale > 0 {
+			instructions = app.Scale(sp.Scale).Instructions
+		}
+	}
+	var arch config.Arch
+	switch {
+	case sp.Arch != nil:
+		arch = *sp.Arch
+	case sp.Modern:
+		arch = config.Modern(sp.Nodes)
+	default:
+		arch = config.KSR1(sp.Nodes)
+	}
+	maxCycles := sp.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1 << 40
+	}
+	var failures []config.FailureEvent
+	if len(sp.Failures) > 0 {
+		failures = append(failures, sp.Failures...)
+		sort.SliceStable(failures, func(i, j int) bool {
+			if failures[i].At != failures[j].At {
+				return failures[i].At < failures[j].At
+			}
+			return failures[i].Node < failures[j].Node
+		})
+	}
+	return config.RunIdentity{
+		Revision:           revision,
+		Arch:               arch,
+		Protocol:           sp.Protocol,
+		NoReplicationReuse: sp.NoReplicationReuse,
+		NoSharedCKReads:    sp.NoSharedCKReads,
+		App:                sp.App,
+		Instructions:       instructions,
+		Seed:               sp.Seed,
+		CheckpointHz:       sp.CheckpointHz,
+		CheckpointInterval: sp.CheckpointInterval,
+		Failures:           failures,
+		Oracle:             !sp.NoOracle,
+		Strict:             sp.Strict,
+		Invariants:         sp.Invariants,
+		MaxCycles:          maxCycles,
+	}, nil
+}
+
+// JobEvent is one element of a job's SSE stream. Seq is the position in
+// the job's event log (SSE id:), so a late subscriber replays the full
+// history in order before following live events.
+type JobEvent struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "state" or "progress"
+	// State accompanies "state" events.
+	State State `json:"state,omitempty"`
+	// Message is a human-readable progress line.
+	Message string `json:"message,omitempty"`
+	// SimCycles stamps "progress" events with the simulated time they
+	// were observed at.
+	SimCycles int64 `json:"sim_cycles,omitempty"`
+	// Error accompanies the failed state.
+	Error string `json:"error,omitempty"`
+}
+
+// JobStatus is the wire format of a job in responses.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	App      string `json:"app"`
+	Protocol string `json:"protocol"`
+	Nodes    int    `json:"nodes"`
+	Seed     uint64 `json:"seed"`
+	// Cache reports how a submission resolved: "hit" (served from the
+	// store), "join" (coalesced onto an identical in-flight job) or
+	// "miss" (a new simulation). Submission responses only.
+	Cache string `json:"cache,omitempty"`
+	Error string `json:"error,omitempty"`
+	// QueueMS and RunMS are wall-clock durations, present once known.
+	QueueMS float64 `json:"queue_ms,omitempty"`
+	RunMS   float64 `json:"run_ms,omitempty"`
+	// Result is the canonical result payload (terminal done jobs only,
+	// and only where the endpoint includes it). Byte-identical across
+	// every response for the same job.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// job is the server-side state of one accepted run. All fields after
+// the immutable header are guarded by the owning Server's mutex; done
+// is closed exactly once, on the transition to a terminal state.
+type job struct {
+	// Immutable after creation.
+	id       string
+	spec     JobSpec
+	identity config.RunIdentity
+	deadline time.Time // zero: none
+
+	state    State
+	errMsg   string
+	result   []byte // canonical payload; shared with the store
+	dequeued bool   // queue-depth accounting done
+	pinned   bool   // an async submission exists: never cancel on disconnect
+	interest int    // waiting submissions with cancel-on-disconnect semantics
+
+	queuedAt   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+
+	events []JobEvent
+	wake   chan struct{} // closed and replaced on every event append
+	done   chan struct{} // closed on terminal transition
+}
+
+// status snapshots the job for a response; the caller holds the server
+// mutex. includeResult attaches the result payload for done jobs.
+func (j *job) status(includeResult bool) JobStatus {
+	st := JobStatus{
+		ID:       j.id,
+		State:    j.state,
+		App:      j.spec.App,
+		Protocol: j.identity.Protocol,
+		Nodes:    j.identity.Arch.Nodes,
+		Seed:     j.identity.Seed,
+		Error:    j.errMsg,
+	}
+	if !j.startedAt.IsZero() {
+		st.QueueMS = msBetween(j.queuedAt, j.startedAt)
+	}
+	if !j.finishedAt.IsZero() && !j.startedAt.IsZero() {
+		st.RunMS = msBetween(j.startedAt, j.finishedAt)
+	}
+	if includeResult && j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+func msBetween(a, b time.Time) float64 {
+	return float64(b.Sub(a).Nanoseconds()) / 1e6
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metrics is the daemon's hand-rolled Prometheus registry: a handful of
+// counters, two gauges fed by the scheduler, and fixed-bucket latency
+// histograms. Everything is guarded by one mutex — the hot path is a
+// few increments per job, not per simulated event — and the exposition
+// is the standard text format, so any Prometheus scraper can consume
+// /metrics without the daemon importing a client library.
+type metrics struct {
+	mu sync.Mutex
+
+	submitted  int64
+	cacheHits  int64
+	cacheJoins int64
+	cacheMiss  int64
+	jobsByEnd  map[State]int64 // terminal states only
+	httpByCode map[int]int64
+
+	queueWait histogram // seconds queued before a worker picks the job up
+	runTime   histogram // seconds simulating (done jobs)
+}
+
+func newMetrics() *metrics {
+	// Bucket bounds in seconds: cached hits resolve in microseconds,
+	// quick jobs in tens of milliseconds, paper-scale runs in minutes.
+	bounds := []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 25, 100, 500}
+	return &metrics{
+		jobsByEnd:  make(map[State]int64),
+		httpByCode: make(map[int]int64),
+		queueWait:  newHistogram(bounds),
+		runTime:    newHistogram(bounds),
+	}
+}
+
+func (m *metrics) countSubmission(cache string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted++
+	switch cache {
+	case "hit":
+		m.cacheHits++
+	case "join":
+		m.cacheJoins++
+	default:
+		m.cacheMiss++
+	}
+}
+
+func (m *metrics) countTerminal(st State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsByEnd[st]++
+}
+
+func (m *metrics) countHTTP(code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.httpByCode[code]++
+}
+
+func (m *metrics) observeQueueWait(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueWait.observe(seconds)
+}
+
+func (m *metrics) observeRunTime(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runTime.observe(seconds)
+}
+
+// hitRatio returns cache hits (store + coalesced) over submissions.
+func (m *metrics) hitRatio() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.submitted == 0 {
+		return 0
+	}
+	return float64(m.cacheHits+m.cacheJoins) / float64(m.submitted)
+}
+
+// write emits the Prometheus text exposition. Gauges owned by the
+// scheduler (queue depth, in-flight, store size) are passed in.
+func (m *metrics) write(w io.Writer, queueDepth, inflight, storeLen int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP comad_queue_depth Jobs accepted but not yet picked up by a worker.\n")
+	fmt.Fprintf(w, "# TYPE comad_queue_depth gauge\ncomad_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP comad_inflight_jobs Simulations executing right now.\n")
+	fmt.Fprintf(w, "# TYPE comad_inflight_jobs gauge\ncomad_inflight_jobs %d\n", inflight)
+	fmt.Fprintf(w, "# HELP comad_store_entries Results in the content-addressed store.\n")
+	fmt.Fprintf(w, "# TYPE comad_store_entries gauge\ncomad_store_entries %d\n", storeLen)
+
+	fmt.Fprintf(w, "# HELP comad_jobs_submitted_total Job submissions accepted.\n")
+	fmt.Fprintf(w, "# TYPE comad_jobs_submitted_total counter\ncomad_jobs_submitted_total %d\n", m.submitted)
+	fmt.Fprintf(w, "# HELP comad_cache_requests_total Submissions by cache outcome.\n")
+	fmt.Fprintf(w, "# TYPE comad_cache_requests_total counter\n")
+	fmt.Fprintf(w, "comad_cache_requests_total{outcome=\"hit\"} %d\n", m.cacheHits)
+	fmt.Fprintf(w, "comad_cache_requests_total{outcome=\"join\"} %d\n", m.cacheJoins)
+	fmt.Fprintf(w, "comad_cache_requests_total{outcome=\"miss\"} %d\n", m.cacheMiss)
+
+	fmt.Fprintf(w, "# HELP comad_jobs_total Jobs by terminal state.\n")
+	fmt.Fprintf(w, "# TYPE comad_jobs_total counter\n")
+	for _, st := range []State{StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "comad_jobs_total{state=%q} %d\n", string(st), m.jobsByEnd[st])
+	}
+
+	fmt.Fprintf(w, "# HELP comad_http_responses_total HTTP responses by status code.\n")
+	fmt.Fprintf(w, "# TYPE comad_http_responses_total counter\n")
+	codes := make([]int, 0, len(m.httpByCode))
+	for code := range m.httpByCode {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(w, "comad_http_responses_total{code=\"%d\"} %d\n", code, m.httpByCode[code])
+	}
+
+	m.queueWait.write(w, "comad_queue_wait_seconds", "Wall seconds jobs spent queued.")
+	m.runTime.write(w, "comad_job_run_seconds", "Wall seconds jobs spent simulating.")
+}
+
+// histogram is a fixed-bucket Prometheus-style histogram; the caller
+// synchronises.
+type histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []int64   // len(bounds)+1
+	sum    float64
+	total  int64
+}
+
+func newHistogram(bounds []float64) histogram {
+	return histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, bound, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"coma/internal/coherence"
+	"coma/internal/config"
+	"coma/internal/machine"
+	"coma/internal/obs"
+	"coma/internal/proto"
+	"coma/internal/stats"
+	"coma/internal/workload"
+)
+
+// Runner executes one run identity and returns its result. The daemon's
+// production runner is SimRunner; tests substitute counting, slow or
+// failing runners to drive the scheduler without simulating.
+type Runner func(id config.RunIdentity, observer obs.Observer) (*stats.Run, error)
+
+// SimRunner executes the identity on an in-process simulated machine —
+// the exact inverse of JobSpec.Identity composed with the same
+// machine.Config assembly the coma package and the experiment suite use.
+func SimRunner(id config.RunIdentity, observer obs.Observer) (*stats.Run, error) {
+	app, ok := workload.ByName(id.App)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown app %q", id.App)
+	}
+	if id.Instructions > 0 && id.Instructions != app.Instructions {
+		app = app.Scale(float64(id.Instructions) / float64(app.Instructions))
+	}
+	var protocol coherence.Protocol
+	switch id.Protocol {
+	case "standard":
+		protocol = coherence.Standard
+	case "ecp":
+		protocol = coherence.ECP
+	default:
+		return nil, fmt.Errorf("server: unknown protocol %q", id.Protocol)
+	}
+	failures := make([]machine.FailurePlan, len(id.Failures))
+	for i, f := range id.Failures {
+		failures[i] = machine.FailurePlan{At: f.At, Node: proto.NodeID(f.Node), Permanent: f.Permanent}
+	}
+	maxCycles := id.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1 << 40
+	}
+	m, err := machine.New(machine.Config{
+		Arch:     id.Arch,
+		Protocol: protocol,
+		Opts: coherence.Options{
+			NoReplicationReuse: id.NoReplicationReuse,
+			NoSharedCKReads:    id.NoSharedCKReads,
+		},
+		App:                app,
+		Seed:               id.Seed,
+		CheckpointHz:       id.CheckpointHz,
+		CheckpointInterval: id.CheckpointInterval,
+		Failures:           failures,
+		Oracle:             id.Oracle,
+		Strict:             id.Strict,
+		Invariants:         id.Invariants,
+		MaxCycles:          maxCycles,
+		Obs:                observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// marshalResult produces the canonical result payload: the stats.Run
+// encoded as compact JSON. It is computed exactly once per run and
+// stored; every response serves the stored bytes, which is what makes
+// "byte-identical result payloads" a property of the API rather than of
+// the JSON encoder.
+func marshalResult(r *stats.Run) ([]byte, error) {
+	return json.Marshal(r)
+}

@@ -1,0 +1,578 @@
+// Package server implements comad, the simulation-as-a-service daemon:
+// an HTTP/JSON front end that accepts simulation jobs, coalesces
+// identical submissions onto one run, executes them on a bounded worker
+// pool, and answers repeats from a content-addressed result store.
+//
+// Serving model. A job is identified by the canonical hash of its run
+// identity (config.RunIdentity: architecture, protocol, workload, seed,
+// failure schedule, code revision), so identity — not submission — is
+// the unit of work: N clients posting the same configuration share one
+// simulation (singleflight, via the same runner.Pool the experiment
+// campaign uses), and a configuration that ever completed is served
+// from the store in O(1) with byte-identical payloads. Backpressure is
+// a bounded queue: submissions beyond it get 429 with Retry-After.
+// Progress streams over SSE from an observability bridge; liveness and
+// load are exposed on /healthz and /metrics (Prometheus text).
+//
+// Concurrency model. This package is host-side serve-layer concurrency,
+// deliberately outside the simulator's no-goroutines rule (it holds a
+// ConcurrencyAllowlist entry, like internal/experiments/runner): every
+// simulation owns a private engine and seed-derived RNG streams, so
+// scheduling jobs on OS threads cannot perturb any simulated outcome —
+// determinism is the cache's correctness argument, asserted by the
+// 32-way coalescing test in dedupe_test.go.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"coma/internal/config"
+	"coma/internal/experiments/runner"
+	"coma/internal/obs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrently executing simulations (0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet picked up by a worker
+	// (0: 64). Beyond it, submissions get 429 with Retry-After.
+	QueueDepth int
+	// Revision is the code revision baked into every cache key, so a
+	// persistent store never serves results computed by different
+	// simulator code.
+	Revision string
+	// CacheDir, when non-empty, persists the result store to disk
+	// (one file per content hash) and reloads entries on demand.
+	CacheDir string
+	// Runner executes runs (nil: SimRunner, the real simulator).
+	Runner Runner
+	// Logf receives operational log lines (nil: discarded).
+	Logf func(format string, args ...any)
+}
+
+// Server is the comad daemon: scheduler state plus the HTTP API.
+type Server struct {
+	opts   Options
+	runner Runner
+	store  *Store
+	met    *metrics
+	pool   *runner.Pool[string, struct{}]
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	queued   int      // jobs accepted, not yet picked up
+	running  int      // jobs executing
+	draining bool
+
+	// inflight counts accepted non-terminal jobs; Drain waits on it.
+	// Add happens under mu with !draining, so it cannot race Wait.
+	inflight sync.WaitGroup
+}
+
+// New assembles a server.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	store, err := NewStore(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:   opts,
+		runner: opts.Runner,
+		store:  store,
+		met:    newMetrics(),
+		pool:   runner.New[string, struct{}](opts.Workers),
+		jobs:   make(map[string]*job),
+	}
+	if s.runner == nil {
+		s.runner = SimRunner
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers returns the worker bound.
+func (s *Server) Workers() int { return s.opts.Workers }
+
+// Drain stops accepting new jobs and blocks until every accepted job
+// has reached a terminal state (queued jobs still run — accepted work
+// is never dropped) or ctx expires. Status, result and metrics
+// endpoints keep serving throughout; call it before shutting the HTTP
+// listener down.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	pending := s.queued + s.running
+	s.mu.Unlock()
+	if !already {
+		s.logf("draining: %d job(s) pending, new submissions refused", pending)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.logf("drained: all accepted jobs terminal")
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// admit resolves one submission under the scheduler lock: an existing
+// job (coalesce), a stored result (hit), or a new queued job (miss).
+// A non-zero httpErr refuses the submission.
+func (s *Server) admit(spec JobSpec, identity config.RunIdentity, wait bool) (j *job, cache string, httpErr int, retryAfter int) {
+	key := identity.Hash()
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if j, ok := s.jobs[key]; ok {
+		cache = "join"
+		if j.state == StateDone {
+			cache = "hit"
+		}
+		s.registerInterestLocked(j, wait)
+		return j, cache, 0, 0
+	}
+	if payload, ok := s.store.Get(key); ok {
+		j := &job{
+			id:       key,
+			spec:     spec,
+			identity: identity,
+			state:    StateDone,
+			result:   payload,
+			dequeued: true,
+			queuedAt: now,
+			wake:     make(chan struct{}),
+			done:     make(chan struct{}),
+		}
+		close(j.done)
+		j.events = []JobEvent{{Seq: 0, Type: "state", State: StateDone}}
+		s.jobs[key] = j
+		s.order = append(s.order, key)
+		return j, "hit", 0, 0
+	}
+	if s.draining {
+		return nil, "", http.StatusServiceUnavailable, 0
+	}
+	if s.queued >= s.opts.QueueDepth {
+		return nil, "", http.StatusTooManyRequests, 1 + s.queued/s.opts.Workers
+	}
+
+	j = &job{
+		id:       key,
+		spec:     spec,
+		identity: identity,
+		state:    StateQueued,
+		queuedAt: now,
+		wake:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if spec.DeadlineMS > 0 {
+		j.deadline = now.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	}
+	s.registerInterestLocked(j, wait)
+	s.appendEventLocked(j, JobEvent{Type: "state", State: StateQueued})
+	s.jobs[key] = j
+	s.order = append(s.order, key)
+	s.queued++
+	s.inflight.Add(1)
+	s.pool.Start(key, func() (struct{}, error) {
+		s.execute(j)
+		return struct{}{}, nil
+	})
+	return j, "miss", 0, 0
+}
+
+// registerInterestLocked records who is waiting on a job: synchronous
+// waiters are counted (their disconnect may abandon a queued job),
+// asynchronous submissions pin it (the client intends to come back).
+func (s *Server) registerInterestLocked(j *job, wait bool) {
+	if wait {
+		j.interest++
+	} else {
+		j.pinned = true
+	}
+}
+
+// execute runs one job on a pool worker. Every accepted job passes
+// through here exactly once (even cancelled ones, which no-op), so the
+// inflight accounting has a single release point.
+func (s *Server) execute(j *job) {
+	defer s.inflight.Done()
+
+	s.mu.Lock()
+	if !j.dequeued {
+		s.queued--
+		j.dequeued = true
+	}
+	if j.state != StateQueued { // cancelled or abandoned while queued
+		s.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	if !j.deadline.IsZero() && now.After(j.deadline) {
+		j.errMsg = "deadline exceeded while queued"
+		s.finishLocked(j, StateFailed)
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.startedAt = now
+	s.running++
+	s.appendEventLocked(j, JobEvent{Type: "state", State: StateRunning})
+	s.mu.Unlock()
+	s.met.observeQueueWait(now.Sub(j.queuedAt).Seconds())
+	s.logf("job %s: running (%s/%s on %d nodes)", shortID(j.id), j.spec.App, j.identity.Protocol, j.identity.Arch.Nodes)
+
+	var observer obs.Observer
+	if j.spec.Progress {
+		observer = &progressBridge{publish: func(msg string, simCycles int64) {
+			s.mu.Lock()
+			s.appendEventLocked(j, JobEvent{Type: "progress", Message: msg, SimCycles: simCycles})
+			s.mu.Unlock()
+		}}
+	}
+	res, err := s.runner(j.identity, observer)
+	var payload []byte
+	if err == nil {
+		payload, err = marshalResult(res)
+	}
+	var persistErr error
+	if err == nil {
+		persistErr = s.store.Put(j.id, payload)
+	}
+
+	s.mu.Lock()
+	s.running--
+	j.finishedAt = time.Now()
+	if err != nil {
+		j.errMsg = err.Error()
+		s.finishLocked(j, StateFailed)
+	} else {
+		j.result = payload
+		s.finishLocked(j, StateDone)
+	}
+	s.mu.Unlock()
+
+	if err == nil {
+		s.met.observeRunTime(j.finishedAt.Sub(j.startedAt).Seconds())
+		s.logf("job %s: done in %.1f ms", shortID(j.id), msBetween(j.startedAt, j.finishedAt))
+	} else {
+		s.logf("job %s: failed: %v", shortID(j.id), err)
+	}
+	if persistErr != nil {
+		s.logf("job %s: persisting result: %v", shortID(j.id), persistErr)
+	}
+}
+
+// finishLocked moves a job to a terminal state: final event, done
+// broadcast, terminal metrics. Caller holds s.mu; the job must not
+// already be terminal.
+func (s *Server) finishLocked(j *job, st State) {
+	j.state = st
+	ev := JobEvent{Type: "state", State: st}
+	if st == StateFailed {
+		ev.Error = j.errMsg
+	}
+	s.appendEventLocked(j, ev)
+	close(j.done)
+	s.met.countTerminal(st)
+}
+
+// appendEventLocked appends to the job's event log and wakes every
+// subscriber. Caller holds s.mu.
+func (s *Server) appendEventLocked(j *job, ev JobEvent) {
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	close(j.wake)
+	j.wake = make(chan struct{})
+}
+
+// detachWaiter undoes one synchronous waiter's interest; a queued job
+// nobody is pinned to or waiting for is abandoned (this is how a client
+// disconnect aborts a queued job without touching running or shared
+// ones).
+func (s *Server) detachWaiter(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.interest--
+	if j.interest <= 0 && !j.pinned && j.state == StateQueued {
+		if !j.dequeued {
+			s.queued--
+			j.dequeued = true
+		}
+		j.errMsg = "abandoned: every waiting client disconnected"
+		s.finishLocked(j, StateCancelled)
+		s.logf("job %s: abandoned while queued", shortID(j.id))
+	}
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	wait := r.URL.Query().Get("wait") == "1" || r.URL.Query().Get("wait") == "true"
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		s.respondError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	identity, err := spec.Identity(s.opts.Revision)
+	if err != nil {
+		s.respondError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	j, cache, httpErr, retryAfter := s.admit(spec, identity, wait)
+	switch httpErr {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
+		s.respondError(w, httpErr, errors.New("queue full, retry later"))
+		return
+	case http.StatusServiceUnavailable:
+		s.respondError(w, httpErr, errors.New("draining: no new jobs accepted"))
+		return
+	}
+	s.met.countSubmission(cache)
+
+	if wait {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			s.detachWaiter(j)
+			return
+		}
+		s.mu.Lock()
+		j.interest--
+		st := j.status(true)
+		s.mu.Unlock()
+		st.Cache = cache
+		s.respondJSON(w, http.StatusOK, st)
+		return
+	}
+
+	s.mu.Lock()
+	st := j.status(true)
+	s.mu.Unlock()
+	st.Cache = cache
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	s.respondJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]JobStatus, 0, len(s.order))
+	for _, key := range s.order {
+		list = append(list, s.jobs[key].status(false))
+	}
+	queued, running := s.queued, s.running
+	s.mu.Unlock()
+	s.respondJSON(w, http.StatusOK, map[string]any{
+		"jobs": list, "queued": queued, "running": running,
+	})
+}
+
+// lookup resolves {id}; it answers 404 itself when unknown.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		s.respondError(w, http.StatusNotFound, errors.New("unknown job"))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	wait := r.URL.Query().Get("wait") == "1" || r.URL.Query().Get("wait") == "true"
+	if wait {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	s.mu.Lock()
+	st := j.status(true)
+	s.mu.Unlock()
+	s.respondJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	state, payload := j.state, j.result
+	s.mu.Unlock()
+	if state != StateDone {
+		s.respondError(w, http.StatusConflict, fmt.Errorf("job is %s", state))
+		return
+	}
+	// Raw stored bytes: the byte-identical payload contract, verbatim.
+	w.Header().Set("Content-Type", "application/json")
+	s.met.countHTTP(http.StatusOK)
+	w.Write(payload)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.respondError(w, http.StatusNotImplemented, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	s.met.countHTTP(http.StatusOK)
+
+	next := 0
+	for {
+		s.mu.Lock()
+		pending := append([]JobEvent(nil), j.events[next:]...)
+		next = len(j.events)
+		wake := j.wake
+		terminal := j.state.Terminal()
+		s.mu.Unlock()
+
+		for _, ev := range pending {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+		}
+		if len(pending) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			return // the log is complete; the final state event is sent
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	switch {
+	case j.state == StateQueued:
+		if !j.dequeued {
+			s.queued--
+			j.dequeued = true
+		}
+		j.errMsg = "cancelled by request"
+		s.finishLocked(j, StateCancelled)
+		st := j.status(false)
+		s.mu.Unlock()
+		s.logf("job %s: cancelled while queued", shortID(j.id))
+		s.respondJSON(w, http.StatusOK, st)
+	case j.state == StateCancelled:
+		st := j.status(false)
+		s.mu.Unlock()
+		s.respondJSON(w, http.StatusOK, st)
+	default:
+		state := j.state
+		s.mu.Unlock()
+		s.respondError(w, http.StatusConflict,
+			fmt.Errorf("job is %s; only queued jobs can be cancelled", state))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, queued, running := s.draining, s.queued, s.running
+	s.mu.Unlock()
+	s.respondJSON(w, http.StatusOK, Health{
+		Status: "ok", Draining: draining,
+		Queued: queued, Running: running,
+		Workers: s.opts.Workers, Revision: s.opts.Revision,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued, running := s.queued, s.running
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.countHTTP(http.StatusOK)
+	s.met.write(w, queued, running, s.store.Len())
+}
+
+func (s *Server) respondJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	s.met.countHTTP(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) respondError(w http.ResponseWriter, code int, err error) {
+	s.respondJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

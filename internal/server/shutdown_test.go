@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coma/internal/config"
+	"coma/internal/obs"
+	"coma/internal/stats"
+)
+
+// TestDrainCompletesAcceptedWork: Drain refuses new submissions but
+// every job accepted before it — running or still queued — reaches a
+// terminal state before Drain returns.
+func TestDrainCompletesAcceptedWork(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Options{
+		Workers: 1, QueueDepth: 8,
+		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+			<-release
+			return fakeRun(id), nil
+		},
+	})
+
+	// One running, two queued behind the single worker.
+	var accepted []string
+	for seed := uint64(1); seed <= 3; seed++ {
+		resp, st := postJob(t, ts, specJSON(seed), false)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("seed %d: status %d, want 202", seed, resp.StatusCode)
+		}
+		accepted = append(accepted, st.ID)
+	}
+	waitForState(t, ts, accepted[0], StateRunning)
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	// Wait for the drain flag to take effect, then check refusal.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var health struct {
+			Draining bool `json:"draining"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&health)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if health.Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never reported draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if resp, _ := postJob(t, ts, specJSON(9), false); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining: status %d, want 503", resp.StatusCode)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned (%v) while jobs were still held", err)
+	default:
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Every accepted job finished; status endpoints still serve.
+	for _, id := range accepted {
+		st := waitForState(t, ts, id, StateDone)
+		if len(st.Result) == 0 {
+			t.Fatalf("job %s: drained without a result", id)
+		}
+	}
+}
+
+// TestDrainHonoursContext: a held job keeps Drain blocked until its
+// context expires.
+func TestDrainHonoursContext(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s, ts := newTestServer(t, Options{
+		Workers: 1,
+		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+			<-release
+			return fakeRun(id), nil
+		},
+	})
+	_, st := postJob(t, ts, specJSON(1), false)
+	waitForState(t, ts, st.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestAbandonedQueuedJobIsCancelled: when every synchronous waiter
+// disconnects from a queued job nobody else asked for, the job is
+// cancelled before it ever occupies a worker.
+func TestAbandonedQueuedJobIsCancelled(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var ran atomic.Bool
+	s, ts := newTestServer(t, Options{
+		Workers: 1, QueueDepth: 8,
+		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+			if id.Seed == 2 {
+				ran.Store(true)
+			}
+			<-release
+			return fakeRun(id), nil
+		},
+	})
+
+	_, first := postJob(t, ts, specJSON(1), false)
+	waitForState(t, ts, first.ID, StateRunning)
+
+	// Synchronous waiter on a queued job, disconnected via context.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/jobs?wait=1", strings.NewReader(specJSON(2)))
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Wait until the queued job exists, then hang up.
+	deadline := time.Now().Add(5 * time.Second)
+	var queuedID string
+	for queuedID == "" {
+		s.mu.Lock()
+		for id, j := range s.jobs {
+			if j.identity.Seed == 2 {
+				queuedID = id
+			}
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatal("queued job never appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-errc
+
+	st := waitForState(t, ts, queuedID, StateCancelled)
+	if st.Error == "" {
+		t.Fatalf("abandoned job has no error message")
+	}
+	if ran.Load() {
+		t.Fatalf("abandoned job still executed")
+	}
+}

@@ -1,0 +1,39 @@
+package server
+
+import "coma/internal/config"
+
+// Health is the wire format of GET /healthz.
+type Health struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Workers  int    `json:"workers"`
+	Revision string `json:"revision"`
+}
+
+// SpecForIdentity is the inverse of JobSpec.Identity: a fully explicit
+// spec (absolute instruction budget, explicit architecture) that
+// canonicalises back to id on a daemon running the same revision. Remote
+// clients that already hold a run identity — the experiment campaign's
+// Remote hook — use it to submit without re-deriving flag-level inputs.
+func SpecForIdentity(id config.RunIdentity) JobSpec {
+	arch := id.Arch
+	return JobSpec{
+		App:                id.App,
+		Nodes:              arch.Nodes,
+		Protocol:           id.Protocol,
+		Instructions:       id.Instructions,
+		CheckpointHz:       id.CheckpointHz,
+		CheckpointInterval: id.CheckpointInterval,
+		Seed:               id.Seed,
+		Arch:               &arch,
+		Failures:           id.Failures,
+		NoReplicationReuse: id.NoReplicationReuse,
+		NoSharedCKReads:    id.NoSharedCKReads,
+		NoOracle:           !id.Oracle,
+		Strict:             id.Strict,
+		Invariants:         id.Invariants,
+		MaxCycles:          id.MaxCycles,
+	}
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"coma/internal/config"
+)
+
+// TestSpecForIdentityRoundTrips: the explicit spec produced from an
+// identity canonicalises back to exactly that identity (same revision),
+// so remote campaign submissions hit the same cache entries as local
+// runs of the same configuration.
+func TestSpecForIdentityRoundTrips(t *testing.T) {
+	identities := []config.RunIdentity{
+		{
+			Revision: "r1", Arch: config.KSR1(16), Protocol: "ecp",
+			App: "mp3d", Instructions: 250_000, Seed: 7,
+			CheckpointHz: 100, Oracle: true, MaxCycles: 1 << 40,
+			Failures: []config.FailureEvent{{At: 10_000, Node: 3, Permanent: true}},
+		},
+		{
+			Revision: "r1", Arch: config.Modern(4), Protocol: "standard",
+			App: "barnes", Instructions: 1000, Oracle: true, MaxCycles: 1 << 40,
+		},
+		{
+			Revision: "r1", Arch: config.KSR1(8), Protocol: "ecp",
+			App: "water", Instructions: 5000, Seed: 3, CheckpointInterval: 2048,
+			NoReplicationReuse: true, NoSharedCKReads: true,
+			Strict: true, Invariants: true, MaxCycles: 1 << 30,
+		},
+	}
+	for _, want := range identities {
+		spec := SpecForIdentity(want)
+		got, err := spec.Identity("r1")
+		if err != nil {
+			t.Fatalf("Identity(%+v): %v", spec, err)
+		}
+		// CanonicalJSON defaults the schema field in place; compare the
+		// canonical forms, which is what the cache key hashes.
+		if string(got.CanonicalJSON()) != string(want.CanonicalJSON()) {
+			t.Errorf("round trip changed identity:\n got %s\nwant %s",
+				got.CanonicalJSON(), want.CanonicalJSON())
+		}
+		if !reflect.DeepEqual(got.Failures, want.Failures) {
+			t.Errorf("failures: got %+v want %+v", got.Failures, want.Failures)
+		}
+	}
+}

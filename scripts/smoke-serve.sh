@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Serving smoke test (CI: smoke-serve job; locally: make smoke-serve).
+#
+# Boots a comad daemon with a persistent cache directory, submits the
+# same tiny job twice, and asserts the serving contract end to end:
+#   1. the first submission is a cache miss that actually simulates;
+#   2. the second is answered from the store ("cache":"hit");
+#   3. the raw result payloads of both fetches are byte-identical;
+#   4. /metrics reports the submissions, the hit, and the store entry;
+#   5. SIGTERM drains and the daemon exits 0.
+set -euo pipefail
+
+PORT="${SMOKE_PORT:-7742}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+SPEC='{"app":"mp3d","nodes":4,"protocol":"ecp","hz":100,"instructions":5000,"seed":1}'
+
+echo "== build"
+go build -o "$WORK/comad" ./cmd/comad
+
+echo "== boot"
+"$WORK/comad" serve -addr "127.0.0.1:${PORT}" -workers 2 \
+    -cache-dir "$WORK/cache" -revision smoke >"$WORK/comad.log" 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "daemon never came up"; cat "$WORK/comad.log"; exit 1; fi
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz"; echo
+
+echo "== first submission (must simulate)"
+curl -fsS -X POST "$BASE/v1/jobs?wait=1" -d "$SPEC" >"$WORK/first.json"
+python3 - "$WORK/first.json" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+assert st["state"] == "done", st
+assert st["cache"] == "miss", f'first submission cache={st["cache"]}, want miss'
+assert st.get("result"), "no result payload"
+print(f'ok: job {st["id"][:12]} miss, {st["result"]["Cycles"]} cycles')
+EOF
+JOB_ID="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$WORK/first.json")"
+
+echo "== second submission (must hit the cache)"
+curl -fsS -X POST "$BASE/v1/jobs?wait=1" -d "$SPEC" >"$WORK/second.json"
+python3 - "$WORK/second.json" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+assert st["state"] == "done", st
+assert st["cache"] == "hit", f'second submission cache={st["cache"]}, want hit'
+print(f'ok: job {st["id"][:12]} hit')
+EOF
+
+echo "== byte-identical raw result payloads"
+curl -fsS "$BASE/v1/jobs/$JOB_ID/result" >"$WORK/result1.json"
+curl -fsS "$BASE/v1/jobs/$JOB_ID/result" >"$WORK/result2.json"
+cmp "$WORK/result1.json" "$WORK/result2.json"
+echo "ok: $(wc -c <"$WORK/result1.json") bytes, identical"
+
+echo "== metrics"
+curl -fsS "$BASE/metrics" >"$WORK/metrics.txt"
+grep -q '^comad_jobs_submitted_total 2$' "$WORK/metrics.txt"
+grep -q '^comad_cache_requests_total{outcome="hit"} 1$' "$WORK/metrics.txt"
+grep -q '^comad_cache_requests_total{outcome="miss"} 1$' "$WORK/metrics.txt"
+grep -q '^comad_jobs_total{state="done"} 1$' "$WORK/metrics.txt"
+grep -q '^comad_store_entries 1$' "$WORK/metrics.txt"
+echo "ok: submissions, hit/miss split, store entry all reported"
+
+echo "== graceful shutdown"
+kill -TERM "$DAEMON"
+for i in $(seq 1 100); do
+    if ! kill -0 "$DAEMON" 2>/dev/null; then break; fi
+    if [ "$i" = 100 ]; then echo "daemon ignored SIGTERM"; exit 1; fi
+    sleep 0.1
+done
+wait "$DAEMON"; STATUS=$?
+[ "$STATUS" = 0 ] || { echo "daemon exited $STATUS"; cat "$WORK/comad.log"; exit 1; }
+grep -q 'drained' "$WORK/comad.log"
+echo "ok: drained and exited 0"
+
+echo "smoke-serve: all checks passed"
