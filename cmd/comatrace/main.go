@@ -7,21 +7,29 @@
 //	comatrace record -app mp3d -scale 0.001 -procs 16 -out traces/
 //	comatrace info traces/mp3d.3.trace
 //
-// It also summarises observability event logs written by
-// comasim -trace-out (JSONL format): per-kind counts, fill sources and
-// the fixed-bucket histograms.
+// It also analyses observability event logs written by
+// comasim -trace-out (JSONL format):
 //
-//	comatrace summarize run.jsonl
+//	comatrace summarize run.jsonl     per-kind counts and histograms
+//	comatrace critpath run.jsonl      transaction latency decomposition
+//	comatrace coverage run.jsonl      protocol-edge coverage vs the ECP table
+//	comatrace check run.jsonl         replay + recovery-invariant checker
+//	comatrace diff a.jsonl b.jsonl    first divergence of two same-seed traces
+//
+// Every JSONL argument may be "-" for standard input. Malformed input
+// exits non-zero with the offending line number.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"coma"
 	"coma/internal/obs"
+	"coma/internal/obs/txnview"
 	"coma/internal/trace"
 	"coma/internal/workload"
 )
@@ -37,6 +45,14 @@ func main() {
 		info(os.Args[2:])
 	case "summarize":
 		summarize(os.Args[2:])
+	case "critpath":
+		critpath(os.Args[2:])
+	case "coverage":
+		coverage(os.Args[2:])
+	case "check":
+		check(os.Args[2:])
+	case "diff":
+		diff(os.Args[2:])
 	default:
 		usage()
 	}
@@ -46,8 +62,44 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   comatrace record -app <name> [-scale f] [-procs n] [-seed s] [-out dir]
   comatrace info <trace-file>...
-  comatrace summarize <events.jsonl>...`)
+  comatrace summarize <events.jsonl>...
+  comatrace critpath [-top n] <events.jsonl>...
+  comatrace coverage <events.jsonl>...
+  comatrace check <events.jsonl>...
+  comatrace diff <a.jsonl> <b.jsonl>
+
+  JSONL arguments accept "-" for standard input.`)
 	os.Exit(2)
+}
+
+// loadEvents reads one JSONL event log ("-" means standard input),
+// exiting with the offending line number on malformed input.
+func loadEvents(path string) []obs.Event {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ReadJSONL(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comatrace: %s: %v\n", displayName(path), err)
+		os.Exit(1)
+	}
+	return events
+}
+
+func displayName(path string) string {
+	if path == "-" {
+		return "stdin"
+	}
+	return path
 }
 
 // summarize renders the histogram/summary report of JSONL event logs
@@ -58,23 +110,152 @@ func summarize(paths []string) {
 		usage()
 	}
 	for _, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)
-			os.Exit(1)
-		}
-		events, err := obs.ReadJSONL(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "comatrace: %s: %v\n", path, err)
-			os.Exit(1)
-		}
-		fmt.Printf("%s:\n", path)
+		events := loadEvents(path)
+		fmt.Printf("%s:\n", displayName(path))
 		if err := obs.WriteSummary(os.Stdout, events); err != nil {
 			fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// critpath decomposes every traced transaction's latency into queueing,
+// network, service and fill components, and lists the slowest ones.
+func critpath(args []string) {
+	fs := flag.NewFlagSet("critpath", flag.ExitOnError)
+	top := fs.Int("top", 10, "number of slowest transactions to list")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	for _, path := range fs.Args() {
+		events := loadEvents(path)
+		r, err := txnview.CritPath(events, *top)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comatrace: %s: %v\n", displayName(path), err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s:\n", displayName(path))
+		if err := r.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// coverage diffs the observed transition matrix against the full ECP
+// transition table.
+func coverage(paths []string) {
+	if len(paths) == 0 {
+		usage()
+	}
+	exit := 0
+	for _, path := range paths {
+		events := loadEvents(path)
+		r := txnview.Coverage(events)
+		fmt.Printf("%s:\n", displayName(path))
+		if err := r.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)
+			os.Exit(1)
+		}
+		if len(r.Unexpected) > 0 {
+			exit = 1 // the simulator performed an undefined transition
+		}
+	}
+	os.Exit(exit)
+}
+
+// check replays traces against the protocol's recovery invariants and
+// exits non-zero on any violation.
+func check(paths []string) {
+	if len(paths) == 0 {
+		usage()
+	}
+	exit := 0
+	for _, path := range paths {
+		events := loadEvents(path)
+		r := txnview.Check(events)
+		fmt.Printf("%s:\n", displayName(path))
+		if err := r.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)
+			os.Exit(1)
+		}
+		if !r.OK() {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// diff reports the first divergence between two JSONL traces of
+// supposedly identical runs (same seed, same config). Traces are
+// byte-deterministic, so the comparison is line-by-line on the raw
+// text: the first differing line pinpoints where two runs parted ways.
+func diff(paths []string) {
+	if len(paths) != 2 {
+		usage()
+	}
+	if paths[0] == "-" && paths[1] == "-" {
+		fmt.Fprintln(os.Stderr, "comatrace: diff: only one argument may be \"-\"")
+		os.Exit(2)
+	}
+	a, b := loadLines(paths[0]), loadLines(paths[1])
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			fmt.Printf("first divergence at line %d:\n", i+1)
+			fmt.Printf("  %s: %s\n", displayName(paths[0]), a[i])
+			fmt.Printf("  %s: %s\n", displayName(paths[1]), b[i])
+			os.Exit(1)
+		}
+	}
+	if len(a) != len(b) {
+		longer, extra := paths[0], len(a)-len(b)
+		if len(b) > len(a) {
+			longer, extra = paths[1], len(b)-len(a)
+		}
+		fmt.Printf("traces agree for %d lines; %s has %d extra\n", n, displayName(longer), extra)
+		os.Exit(1)
+	}
+	fmt.Printf("traces identical (%d lines)\n", n)
+}
+
+// loadLines reads a file (or stdin) as lines, validating it parses as
+// an event log first so diff errors point at malformed input, not at a
+// spurious divergence.
+func loadLines(path string) []string {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)
+		os.Exit(1)
+	}
+	lines := splitLines(string(data))
+	return lines
+}
+
+// splitLines splits on '\n', dropping a trailing empty line.
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
 }
 
 func record(args []string) {

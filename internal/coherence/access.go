@@ -20,7 +20,7 @@ func (e *Engine) ReadItem(p *sim.Process, n proto.NodeID, item proto.ItemID) uin
 	start := p.Now()
 
 	// The local lookup pass costs a full AM access whether it hits or
-	// detects the miss (Table 2 calibration, DESIGN.md §4.6). The slot
+	// detects the miss (Table 2 calibration, DESIGN.md §4.7). The slot
 	// must be examined only *after* the access completes: a remote write
 	// transaction may finish during those cycles, and serving the
 	// pre-access copy would deliver a value older than the completed
@@ -37,6 +37,7 @@ func (e *Engine) ReadItem(p *sim.Process, n proto.NodeID, item proto.ItemID) uin
 	}
 	c.AMReadMisses++
 
+	lockStart := p.Now()
 	e.lockItem(p, item)
 	defer e.unlockItem(item)
 
@@ -52,24 +53,32 @@ func (e *Engine) ReadItem(p *sim.Process, n proto.NodeID, item proto.ItemID) uin
 		return slot.Value
 	}
 
+	// A true miss: this is one traced transaction from here to the fill.
+	var txn proto.TxnID
+	if e.obs != nil {
+		txn = e.mintTxn(n)
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnBegin, Node: n, Item: item,
+			Txn: txn, A: obs.TxnRead, B: p.Now() - lockStart})
+	}
+
 	// Table 1: a read access to a local Inv-CK copy first injects the
 	// recovery copy to free the slot, then proceeds as a miss.
 	if st := e.ams[n].State(item); st == proto.InvCK1 || st == proto.InvCK2 {
-		e.inject(p, n, item, true, proto.InjectReadInvCK)
+		e.inject(p, n, item, true, proto.InjectReadInvCK, txn)
 	} else if st == proto.SharedCK1 || st == proto.SharedCK2 {
 		// Only reachable under the NoSharedCKReads ablation: the copy
 		// is present but the processor may not read it; treat like the
 		// Inv-CK case.
-		e.inject(p, n, item, true, proto.InjectReadInvCK)
+		e.inject(p, n, item, true, proto.InjectReadInvCK, txn)
 	}
 
-	e.ensureFrame(p, n, item)
+	e.ensureFrame(p, n, item, txn)
 
 	page := e.arch.PageOf(item)
 	e.beginInstall(n, page)
 	defer e.endInstall(n, page)
 
-	m := e.fetch(p, n, item, proto.MsgReadReq)
+	m := e.fetch(p, n, item, proto.MsgReadReq, txn)
 	e.useController(p, n, e.arch.AMAccess) // install + cache fill
 	var value uint64
 	src := obs.FillRemote
@@ -89,6 +98,8 @@ func (e *Engine) ReadItem(p *sim.Process, n proto.NodeID, item proto.ItemID) uin
 	if e.obs != nil {
 		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KReadFill, Node: n, Item: item,
 			A: src, B: p.Now() - start})
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnEnd, Node: n, Item: item,
+			Txn: txn, A: src, B: p.Now() - start})
 	}
 	e.verifyRead(n, item, value)
 	return value
@@ -114,6 +125,7 @@ func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, va
 	}
 	c.AMWriteMisses++
 
+	lockStart := p.Now()
 	e.lockItem(p, item)
 	defer e.unlockItem(item)
 
@@ -127,12 +139,19 @@ func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, va
 		return
 	}
 
+	var txn proto.TxnID
+	if e.obs != nil {
+		txn = e.mintTxn(n)
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnBegin, Node: n, Item: item,
+			Txn: txn, A: obs.TxnWrite, B: p.Now() - lockStart})
+	}
+
 	// Table 1: writes to local recovery copies first inject them.
 	switch st := e.ams[n].State(item); st {
 	case proto.InvCK1, proto.InvCK2:
-		e.inject(p, n, item, true, proto.InjectWriteInvCK)
+		e.inject(p, n, item, true, proto.InjectWriteInvCK, txn)
 	case proto.SharedCK1, proto.SharedCK2:
-		e.inject(p, n, item, true, proto.InjectWriteSharedCK)
+		e.inject(p, n, item, true, proto.InjectWriteSharedCK, txn)
 	case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive:
 		// Current-state copies go through the miss path below unchanged.
 	case proto.PreCommit1, proto.PreCommit2:
@@ -141,17 +160,19 @@ func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, va
 		panic(fmt.Sprintf("coherence: write on node %v hit item %d in transient %v", n, item, st))
 	}
 
-	e.ensureFrame(p, n, item)
+	e.ensureFrame(p, n, item, txn)
 
 	switch st := e.ams[n].State(item); st {
 	case proto.MasterShared:
 		// Local master: invalidate the sharers, then upgrade in place.
-		e.invalidateSharers(p, n, item)
+		e.invalidateSharers(p, n, item, txn)
 		e.useController(p, n, e.arch.AMAccess)
 		e.ams[n].Set(item, am.Slot{State: proto.Exclusive, Value: value, Partner: proto.None})
 		if e.obs != nil {
 			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KWriteFill, Node: n, Item: item,
 				A: obs.FillLocal, B: p.Now() - start})
+			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnEnd, Node: n, Item: item,
+				Txn: txn, A: obs.FillLocal, B: p.Now() - start})
 		}
 
 	case proto.Shared, proto.Invalid:
@@ -159,7 +180,7 @@ func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, va
 		e.beginInstall(n, page)
 		defer e.endInstall(n, page)
 		ackFut := e.registerAcks(item)
-		m := e.fetch(p, n, item, proto.MsgWriteReq)
+		m := e.fetch(p, n, item, proto.MsgWriteReq, txn)
 		switch m.Kind {
 		case proto.MsgColdGrant, proto.MsgDataReply:
 			e.expectAcks(item, int(m.Arg))
@@ -178,6 +199,8 @@ func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, va
 		if e.obs != nil {
 			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KWriteFill, Node: n, Item: item,
 				A: src, B: p.Now() - start})
+			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnEnd, Node: n, Item: item,
+				Txn: txn, A: src, B: p.Now() - start})
 		}
 
 	default:
@@ -200,7 +223,7 @@ func (e *Engine) WriteThrough(n proto.NodeID, item proto.ItemID, value uint64) {
 // fetch sends a read/write request to the item's home and waits for the
 // final response (grant or data), which may come from the home (cold) or
 // be forwarded to and answered by the owner.
-func (e *Engine) fetch(p *sim.Process, n proto.NodeID, item proto.ItemID, kind proto.MsgKind) mesh.Message {
+func (e *Engine) fetch(p *sim.Process, n proto.NodeID, item proto.ItemID, kind proto.MsgKind, txn proto.TxnID) mesh.Message {
 	fut := sim.NewFuture[mesh.Message]()
 	e.net.Send(mesh.Message{
 		Kind:      kind,
@@ -209,13 +232,14 @@ func (e *Engine) fetch(p *sim.Process, n proto.NodeID, item proto.ItemID, kind p
 		Item:      item,
 		Requester: n,
 		Token:     fut,
+		Txn:       txn,
 	})
 	return fut.Await(p)
 }
 
 // invalidateSharers sends invalidations to every sharer of an item owned
 // locally and waits for all acknowledgements.
-func (e *Engine) invalidateSharers(p *sim.Process, n proto.NodeID, item proto.ItemID) {
+func (e *Engine) invalidateSharers(p *sim.Process, n proto.NodeID, item proto.ItemID, txn proto.TxnID) {
 	entry := e.dir.Lookup(item)
 	if entry == nil {
 		panic(fmt.Sprintf("coherence: owner %v of item %d has no directory entry", n, item))
@@ -233,6 +257,7 @@ func (e *Engine) invalidateSharers(p *sim.Process, n proto.NodeID, item proto.It
 			Dst:       s,
 			Item:      item,
 			Requester: n,
+			Txn:       txn,
 		})
 	})
 	entry.Sharers.Clear()
@@ -244,7 +269,9 @@ func (e *Engine) invalidateSharers(p *sim.Process, n proto.NodeID, item proto.It
 // ensureFrame guarantees the node has an AM page frame for the item's
 // page, performing the first-touch anchor allocation and any replacement
 // (with injection of pinned victims) that page allocation requires.
-func (e *Engine) ensureFrame(p *sim.Process, n proto.NodeID, item proto.ItemID) {
+// txn is the transaction that needs the frame; injections forced by the
+// replacement parent to it.
+func (e *Engine) ensureFrame(p *sim.Process, n proto.NodeID, item proto.ItemID, txn proto.TxnID) {
 	page := e.arch.PageOf(item)
 	// A replacement may be mid-flight on this very frame: wait it out
 	// (the frame will either survive or be reallocated below).
@@ -263,10 +290,10 @@ func (e *Engine) ensureFrame(p *sim.Process, n proto.NodeID, item proto.ItemID) 
 		anchors := e.dir.Anchors(n, e.anchorFrames())
 		e.pageAnchors[page] = anchors
 		for _, a := range anchors {
-			e.allocAnchorFrame(p, a, page)
+			e.allocAnchorFrame(p, a, page, txn)
 			if a != n {
 				// Timing-only notification to the remote anchor.
-				e.net.Send(mesh.Message{Kind: proto.MsgPageAlloc, Src: n, Dst: a, Item: e.arch.FirstItem(page)})
+				e.net.Send(mesh.Message{Kind: proto.MsgPageAlloc, Src: n, Dst: a, Item: e.arch.FirstItem(page), Txn: txn})
 			}
 		}
 	}
@@ -276,20 +303,20 @@ func (e *Engine) ensureFrame(p *sim.Process, n proto.NodeID, item proto.ItemID) 
 	}
 	e.useController(p, n, e.arch.AMAccess)
 	if !e.ams[n].FreeWay(page) {
-		e.evictFrame(p, n, page)
+		e.evictFrame(p, n, page, txn)
 	}
 	e.ams[n].AllocFrame(page, false, p.Now())
 }
 
 // allocAnchorFrame reserves an irreplaceable frame for page on node a,
 // evicting a replaceable frame if the set is full.
-func (e *Engine) allocAnchorFrame(p *sim.Process, a proto.NodeID, page proto.PageID) {
+func (e *Engine) allocAnchorFrame(p *sim.Process, a proto.NodeID, page proto.PageID, txn proto.TxnID) {
 	if e.ams[a].HasFrame(page) {
 		e.ams[a].MarkIrreplaceable(page)
 		return
 	}
 	if !e.ams[a].FreeWay(page) {
-		e.evictFrame(p, a, page)
+		e.evictFrame(p, a, page, txn)
 	}
 	e.ams[a].AllocFrame(page, true, p.Now())
 }
@@ -300,7 +327,7 @@ func (e *Engine) allocAnchorFrame(p *sim.Process, a proto.NodeID, page proto.Pag
 // land in it, injects every pinned item (masters and recovery copies
 // must survive replacement), drops Shared items from sharer sets, and
 // deallocates the frame.
-func (e *Engine) evictFrame(p *sim.Process, n proto.NodeID, page proto.PageID) {
+func (e *Engine) evictFrame(p *sim.Process, n proto.NodeID, page proto.PageID, txn proto.TxnID) {
 	victim := proto.NoPage
 	for attempt := 0; ; attempt++ {
 		for _, cand := range e.ams[n].VictimPages(page) {
@@ -344,7 +371,7 @@ func (e *Engine) evictFrame(p *sim.Process, n proto.NodeID, page proto.PageID) {
 		default:
 			panic(fmt.Sprintf("coherence: evicting item %d in %v", it, st))
 		}
-		e.inject(p, n, it, true, cause)
+		e.inject(p, n, it, true, cause, txn)
 		e.unlockItem(it)
 	}
 	// Remaining Shared items are silently dropped; keep the sharer sets

@@ -37,7 +37,7 @@ func (e *Engine) CreatePhase(p *sim.Process, n proto.NodeID) {
 		case proto.Exclusive:
 			e.ams[n].SetState(item, proto.PreCommit1)
 			e.cacheOps.DowngradeItem(n, item)
-			target := e.inject(p, n, item, false, proto.InjectCheckpoint)
+			target := e.inject(p, n, item, false, proto.InjectCheckpoint, e.roundTxn)
 			e.ams[n].SetPartner(item, target)
 			c.CkptItemsReplicated++
 
@@ -59,12 +59,13 @@ func (e *Engine) CreatePhase(p *sim.Process, n proto.NodeID) {
 					Dst:   sharer,
 					Item:  item,
 					Token: fut,
+					Txn:   e.roundTxn,
 				})
 				fut.Await(p)
 				e.ams[n].SetPartner(item, sharer)
 				c.CkptItemsReused++
 			} else {
-				target := e.inject(p, n, item, false, proto.InjectCheckpoint)
+				target := e.inject(p, n, item, false, proto.InjectCheckpoint, e.roundTxn)
 				e.ams[n].SetPartner(item, target)
 				c.CkptItemsReplicated++
 			}
@@ -247,10 +248,10 @@ func (e *Engine) ReconfigureNode(p *sim.Process, n proto.NodeID, dead func(proto
 			entry := e.dir.Ensure(w.item)
 			entry.Owner = n
 			if h := e.dir.Home(w.item); h != n {
-				e.net.Send(mesh.Message{Kind: proto.MsgHomeUpdate, Src: n, Dst: h, Item: w.item})
+				e.net.Send(mesh.Message{Kind: proto.MsgHomeUpdate, Src: n, Dst: h, Item: w.item, Txn: e.roundTxn})
 			}
 		}
-		target := e.inject(p, n, w.item, false, proto.InjectReconfigure)
+		target := e.inject(p, n, w.item, false, proto.InjectReconfigure, e.roundTxn)
 		e.ams[n].SetPartner(w.item, target)
 		e.unlockItem(w.item)
 	}
@@ -294,7 +295,7 @@ func (e *Engine) RemapAnchors(p *sim.Process, dead func(proto.NodeID) bool) {
 			anchors[i] = cand
 			present[cand] = true
 			changed = true
-			e.allocAnchorFrame(p, cand, page)
+			e.allocAnchorFrame(p, cand, page, e.roundTxn)
 		}
 		if changed {
 			e.pageAnchors[page] = anchors
@@ -317,7 +318,7 @@ func (e *Engine) RestoreAnchors(p *sim.Process, n proto.NodeID) {
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	for _, page := range pages {
-		e.allocAnchorFrame(p, n, page)
+		e.allocAnchorFrame(p, n, page, e.roundTxn)
 	}
 }
 

@@ -101,6 +101,15 @@ type Engine struct {
 	// checkpoint phases). Each emission site is guarded by one nil
 	// check; a disabled engine pays nothing else.
 	obs obs.Observer
+
+	// txnSeq holds the per-origin transaction counters behind mintTxn.
+	// Only touched when obs is non-nil, so transaction IDs exist exactly
+	// when somebody records them and a disabled run stays untouched.
+	txnSeq []int64
+	// roundTxn is the coordinator's current round transaction; phase work
+	// (checkpoint replication, reconfiguration, anchor repair) parents
+	// its injections to it. NoTxn outside rounds.
+	roundTxn proto.TxnID
 }
 
 // New wires a protocol engine to the machine's parts and registers the
@@ -125,6 +134,7 @@ func New(eng *sim.Engine, arch config.Arch, protocol Protocol, opts Options,
 	}
 	e.ctl = make([]*sim.Resource, arch.Nodes)
 	e.pendingInstalls = make([]map[proto.PageID]int, arch.Nodes)
+	e.txnSeq = make([]int64, arch.Nodes)
 	for i := range e.ctl {
 		e.ctl[i] = sim.NewResource(fmt.Sprintf("amctl%d", i), arch.AMControllers)
 		e.pendingInstalls[i] = make(map[proto.PageID]int)
@@ -171,6 +181,19 @@ func (e *Engine) SetReadChecker(fn func(n proto.NodeID, item proto.ItemID, value
 
 // SetObserver installs the observability sink (nil disables it).
 func (e *Engine) SetObserver(o obs.Observer) { e.obs = o }
+
+// mintTxn mints the next transaction ID originated by node n. Callers
+// must hold a non-nil observer: IDs are deterministic per seed because
+// transaction starts are, but they exist only when a trace is recorded,
+// so an untraced run carries no IDs anywhere.
+func (e *Engine) mintTxn(n proto.NodeID) proto.TxnID {
+	e.txnSeq[n]++
+	return proto.MakeTxnID(n, e.txnSeq[n])
+}
+
+// SetRoundTxn names the coordinator round transaction that subsequent
+// checkpoint/recovery phase work should parent to (NoTxn to clear).
+func (e *Engine) SetRoundTxn(t proto.TxnID) { e.roundTxn = t }
 
 // dispatch routes a delivered message to its handler. It runs in event
 // context; handlers needing simulated time spawn processes.

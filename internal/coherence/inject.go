@@ -20,8 +20,12 @@ import (
 // replace=false is the create-phase replication ("similar to item
 // injections, the only difference being that the injected item copy is
 // not replaced in the memory of the node performing the injection").
+//
+// par is the transaction that forced the injection (the access or
+// coordinator round); the injection itself is traced as a child
+// transaction parented to it.
 func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
-	replace bool, cause proto.InjectCause) proto.NodeID {
+	replace bool, cause proto.InjectCause, par proto.TxnID) proto.NodeID {
 
 	src := e.ams[n].Slot(item)
 	if src.State.Replaceable() {
@@ -44,6 +48,14 @@ func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
 		c.CkptBytesMoved += int64(e.arch.ItemSize)
 	}
 
+	start := p.Now()
+	var txn proto.TxnID
+	if e.obs != nil {
+		txn = e.mintTxn(n)
+		e.obs.Emit(obs.Event{Time: start, Kind: obs.KTxnBegin, Node: n, Item: item,
+			Txn: txn, Par: par, A: obs.TxnInject})
+	}
+
 	// Ring walk: first lap accepts only free slots; second lap also
 	// allows dropping a clean victim frame at the target.
 	alive := e.dir.AliveCount()
@@ -62,7 +74,7 @@ func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
 		c.InjectProbes++
 		if e.obs != nil {
 			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KInjectProbe, Node: n, Item: item,
-				Cause: cause, A: int64(t), B: lap})
+				Cause: cause, Txn: txn, A: int64(t), B: lap})
 		}
 		fut := sim.NewFuture[mesh.Message]()
 		e.net.Send(mesh.Message{
@@ -76,6 +88,7 @@ func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
 			Fresh:     !replace,
 			Requester: n,
 			Token:     fut,
+			Txn:       txn,
 		})
 		reply := fut.Await(p)
 		if reply.Kind == proto.MsgInjectAccept {
@@ -93,7 +106,7 @@ func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
 
 	if e.obs != nil {
 		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KInjectAccept, Node: n, Item: item,
-			Cause: cause, A: int64(target), B: hops})
+			Cause: cause, Txn: txn, A: int64(target), B: hops})
 	}
 
 	// Step two: the data transfer and its acknowledgement. The probe
@@ -109,6 +122,7 @@ func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
 		Value:     src.Value,
 		Requester: n,
 		Token:     ackFut,
+		Txn:       txn,
 	})
 	ackFut.Await(p)
 
@@ -118,7 +132,7 @@ func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
 			// The copy moved: its partner must learn the new location.
 			if src.Partner != proto.None && src.Partner != target {
 				e.ams[src.Partner].SetPartner(item, target)
-				e.net.Send(mesh.Message{Kind: proto.MsgPartnerUpdate, Src: n, Dst: src.Partner, Item: item})
+				e.net.Send(mesh.Message{Kind: proto.MsgPartnerUpdate, Src: n, Dst: src.Partner, Item: item, Txn: txn})
 			}
 		} else {
 			// A fresh secondary copy: pair it with the source.
@@ -131,13 +145,17 @@ func (e *Engine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
 		entry := e.dir.Ensure(item)
 		entry.Owner = target
 		if h := e.dir.Home(item); h != n && h != target {
-			e.net.Send(mesh.Message{Kind: proto.MsgHomeUpdate, Src: n, Dst: h, Item: item})
+			e.net.Send(mesh.Message{Kind: proto.MsgHomeUpdate, Src: n, Dst: h, Item: item, Txn: txn})
 		}
 	}
 
 	if replace {
 		e.ams[n].SetState(item, proto.Invalid)
 		e.cacheOps.InvalidateItem(n, item)
+	}
+	if e.obs != nil {
+		e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnEnd, Node: n, Item: item,
+			Txn: txn, A: int64(target), B: p.Now() - start})
 	}
 	return target
 }
@@ -158,6 +176,7 @@ func (e *Engine) handleInjectProbe(p *sim.Process, n proto.NodeID, m mesh.Messag
 		Dst:   m.Requester,
 		Item:  m.Item,
 		Reply: m.Token,
+		Txn:   m.Txn,
 	})
 }
 
@@ -246,6 +265,7 @@ func (e *Engine) handleInjectData(p *sim.Process, n proto.NodeID, m mesh.Message
 		Dst:   m.Requester,
 		Item:  m.Item,
 		Reply: m.Token,
+		Txn:   m.Txn,
 	})
 	e.useController(p, n, e.arch.MemTransfer)
 }

@@ -35,6 +35,7 @@ func (e *Engine) homeRequest(p *sim.Process, h proto.NodeID, m mesh.Message) {
 					Dst:       s,
 					Item:      m.Item,
 					Requester: m.Requester,
+					Txn:       m.Txn,
 				})
 			})
 			entry.Sharers.Clear()
@@ -49,6 +50,7 @@ func (e *Engine) homeRequest(p *sim.Process, h proto.NodeID, m mesh.Message) {
 			Item:  m.Item,
 			Arg:   int64(acks),
 			Reply: m.Token,
+			Txn:   m.Txn,
 		})
 		return
 	}
@@ -63,6 +65,7 @@ func (e *Engine) homeRequest(p *sim.Process, h proto.NodeID, m mesh.Message) {
 		Item:      m.Item,
 		Requester: m.Requester,
 		Token:     m.Token,
+		Txn:       m.Txn,
 	})
 }
 
@@ -93,6 +96,7 @@ func (e *Engine) ownerRead(p *sim.Process, o proto.NodeID, m mesh.Message) {
 		Value: slot.Value,
 		State: proto.Shared,
 		Reply: m.Token,
+		Txn:   m.Txn,
 	})
 }
 
@@ -117,6 +121,7 @@ func (e *Engine) ownerWrite(p *sim.Process, o proto.NodeID, m mesh.Message) {
 			Dst:       s,
 			Item:      m.Item,
 			Requester: m.Requester,
+			Txn:       m.Txn,
 		})
 	})
 	entry.Sharers.Clear()
@@ -146,6 +151,7 @@ func (e *Engine) ownerWrite(p *sim.Process, o proto.NodeID, m mesh.Message) {
 			Dst:       slot.Partner,
 			Item:      m.Item,
 			Requester: m.Requester,
+			Txn:       m.Txn,
 		})
 	default:
 		panic(fmt.Sprintf("coherence: node %v asked to serve write of item %d in %v",
@@ -156,7 +162,7 @@ func (e *Engine) ownerWrite(p *sim.Process, o proto.NodeID, m mesh.Message) {
 	// Localisation-pointer update: state is already consistent (the
 	// simulator mutates under the item lock); the message carries timing.
 	if h := e.dir.Home(m.Item); h != o && h != m.Requester {
-		e.net.Send(mesh.Message{Kind: proto.MsgHomeUpdate, Src: o, Dst: h, Item: m.Item})
+		e.net.Send(mesh.Message{Kind: proto.MsgHomeUpdate, Src: o, Dst: h, Item: m.Item, Txn: m.Txn})
 	}
 
 	e.net.Send(mesh.Message{
@@ -168,6 +174,7 @@ func (e *Engine) ownerWrite(p *sim.Process, o proto.NodeID, m mesh.Message) {
 		State: proto.Exclusive,
 		Arg:   int64(acks),
 		Reply: m.Token,
+		Txn:   m.Txn,
 	})
 }
 
@@ -194,6 +201,7 @@ func (e *Engine) handleInvalidate(p *sim.Process, n proto.NodeID, m mesh.Message
 		Src:  n,
 		Dst:  m.Requester,
 		Item: m.Item,
+		Txn:  m.Txn,
 	})
 }
 
@@ -213,5 +221,6 @@ func (e *Engine) handlePreCommitUpgrade(p *sim.Process, n proto.NodeID, m mesh.M
 		Dst:   m.Src,
 		Item:  m.Item,
 		Reply: m.Token,
+		Txn:   m.Txn,
 	})
 }

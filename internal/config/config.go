@@ -41,7 +41,7 @@ type Arch struct {
 	// machine).
 	AnchorFrames int
 
-	// Timing parameters, calibrated against Table 2 (see DESIGN.md §4.6).
+	// Timing parameters, calibrated against Table 2 (see DESIGN.md §4.7).
 	CacheAccess    int64 // cache hit (1)
 	AMAccess       int64 // local AM fill / miss detect / install (18)
 	MemTransfer    int64 // AM-to-network-controller item transfer (20)

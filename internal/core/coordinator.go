@@ -122,6 +122,12 @@ type Coordinator struct {
 
 	// obsv, when set, receives round, fault and rollback events.
 	obsv obs.Observer
+	// txnSeq numbers the coordinator's round transactions; it is only
+	// advanced when an observer is attached, so untraced runs are
+	// byte-identical to traced ones in every other respect.
+	txnSeq   int64
+	roundTxn proto.TxnID
+	roundT0  int64
 }
 
 // NewCoordinator builds the recovery coordinator. interval is the cycles
@@ -358,8 +364,18 @@ func (co *Coordinator) beginRound(mode roundMode) {
 	co.mode = mode
 	co.pauseRequested = true
 	if co.obsv != nil {
+		co.txnSeq++
+		co.roundTxn = proto.MakeTxnID(proto.None, co.txnSeq)
+		co.roundT0 = co.eng.Now()
+		co.coh.SetRoundTxn(co.roundTxn)
+		op := int64(obs.TxnCkptRound)
+		if mode == roundRecovery {
+			op = obs.TxnRecoveryRound
+		}
+		co.obsv.Emit(obs.Event{Time: co.eng.Now(), Kind: obs.KTxnBegin,
+			Node: proto.None, Item: proto.NoItem, Txn: co.roundTxn, A: op})
 		co.obsv.Emit(obs.Event{Time: co.eng.Now(), Kind: obs.KRoundBegin,
-			Node: proto.None, Item: proto.NoItem, A: int64(mode), B: co.round})
+			Node: proto.None, Item: proto.NoItem, Txn: co.roundTxn, A: int64(mode), B: co.round})
 	}
 	co.quiesce = newCounter(co.eng, co.participants())
 	co.gateStart = sim.NewGate()
@@ -376,7 +392,7 @@ func (co *Coordinator) beginRound(mode roundMode) {
 	for i := 0; i < co.nodes; i++ {
 		n := proto.NodeID(i)
 		if co.alive[n] && n != 0 {
-			co.net.Send(mesh.Message{Kind: kind, Src: 0, Dst: n})
+			co.net.Send(mesh.Message{Kind: kind, Src: 0, Dst: n, Txn: co.roundTxn})
 		}
 	}
 }
@@ -407,7 +423,7 @@ func (co *Coordinator) runCheckpoint(p *sim.Process) {
 	co.quiesce.fut.Await(p)
 	if co.obsv != nil {
 		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KRoundQuiesced,
-			Node: proto.None, Item: proto.NoItem, B: co.round})
+			Node: proto.None, Item: proto.NoItem, Txn: co.roundTxn, B: co.round})
 	}
 
 	// A failure injected during quiesce aborts the establishment: the
@@ -435,7 +451,7 @@ func (co *Coordinator) runCheckpoint(p *sim.Process) {
 
 	if co.obsv != nil {
 		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KCommitted,
-			Node: proto.None, Item: proto.NoItem, B: co.round})
+			Node: proto.None, Item: proto.NoItem, Txn: co.roundTxn, B: co.round})
 	}
 	if co.hooks.OnCommit != nil {
 		co.hooks.OnCommit()
@@ -445,7 +461,8 @@ func (co *Coordinator) runCheckpoint(p *sim.Process) {
 	co.lastCkpt = p.Now()
 	if co.obsv != nil {
 		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KRoundEnd,
-			Node: proto.None, Item: proto.NoItem, A: int64(roundCheckpoint), B: co.round})
+			Node: proto.None, Item: proto.NoItem, Txn: co.roundTxn, A: int64(roundCheckpoint), B: co.round})
+		co.endRoundTxn(p.Now(), roundCheckpoint)
 	}
 }
 
@@ -471,7 +488,7 @@ func (co *Coordinator) runRecovery(p *sim.Process) {
 	co.quiesce.fut.Await(p)
 	if co.obsv != nil {
 		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KRoundQuiesced,
-			Node: proto.None, Item: proto.NoItem, B: co.round})
+			Node: proto.None, Item: proto.NoItem, Txn: co.roundTxn, B: co.round})
 	}
 	co.finishRecovery(p)
 }
@@ -524,7 +541,7 @@ func (co *Coordinator) finishRecovery(p *sim.Process) {
 	dropped := co.coh.RebuildDirectory()
 	if co.obsv != nil {
 		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KRollback,
-			Node: proto.None, Item: proto.NoItem, A: int64(len(dropped)), B: co.round})
+			Node: proto.None, Item: proto.NoItem, Txn: co.roundTxn, A: int64(len(dropped)), B: co.round})
 	}
 	for _, f := range failures {
 		if !f.Permanent && !co.finished[f.Node] {
@@ -553,8 +570,19 @@ func (co *Coordinator) finishRecovery(p *sim.Process) {
 	co.maybeOpenAppBarrier()
 	if co.obsv != nil {
 		co.obsv.Emit(obs.Event{Time: p.Now(), Kind: obs.KRoundEnd,
-			Node: proto.None, Item: proto.NoItem, A: int64(roundRecovery), B: co.round})
+			Node: proto.None, Item: proto.NoItem, Txn: co.roundTxn, A: int64(roundRecovery), B: co.round})
+		co.endRoundTxn(p.Now(), roundRecovery)
 	}
+}
+
+// endRoundTxn closes the round's transaction span and detaches it from
+// the coherence engine. Only called when an observer is attached.
+func (co *Coordinator) endRoundTxn(now int64, mode roundMode) {
+	co.obsv.Emit(obs.Event{Time: now, Kind: obs.KTxnEnd,
+		Node: proto.None, Item: proto.NoItem, Txn: co.roundTxn,
+		A: int64(mode), B: now - co.roundT0})
+	co.roundTxn = proto.NoTxn
+	co.coh.SetRoundTxn(proto.NoTxn)
 }
 
 // AppBarrier implements the workload-level global barrier: the processor

@@ -39,6 +39,15 @@ func TestSimBlockingFlagsServerShapedCode(t *testing.T) {
 	analysistest.Run(t, analyzers.SimBlocking, "testdata/src/serverlike")
 }
 
+// TestDeterminismFlagsTraceAnalysisShapedCode pins the reason
+// DeterminismScope treats internal/obs as a subtree: the txnviewlike
+// fixture reproduces the offline trace-checker's constructs (replay
+// maps, diagnostic lists, report rendering) and every nondeterministic
+// variant is diagnosed, while the collect-then-sort form stays silent.
+func TestDeterminismFlagsTraceAnalysisShapedCode(t *testing.T) {
+	analysistest.Run(t, analyzers.Determinism, "testdata/src/txnviewlike")
+}
+
 func TestDeterminismScope(t *testing.T) {
 	for path, want := range map[string]bool{
 		"coma/internal/sim":                true,
@@ -46,6 +55,7 @@ func TestDeterminismScope(t *testing.T) {
 		"coma/internal/core":               true,
 		"coma/internal/node":               true,
 		"coma/internal/obs":                true,
+		"coma/internal/obs/txnview":        true, // offline analyses: pure trace functions
 		"coma/internal/experiments":        true,
 		"coma/internal/experiments/runner": false, // ConcurrencyAllowlist
 		"coma/internal/server":             false, // ConcurrencyAllowlist

@@ -31,8 +31,9 @@ var Determinism = &analysis.Analyzer{
 }
 
 // DeterminismScope reports whether the analyzer applies to a package:
-// the deterministic core of the simulator, the observability layer
-// (whose exported traces promise byte-identical same-seed replay), plus
+// the deterministic core of the simulator, the observability subtree
+// (whose exported traces promise byte-identical same-seed replay and
+// whose offline analyses must be pure trace functions), plus
 // the experiment campaign subtree (whose tables promise bit-identical
 // output for every worker count) and the serving subtree (whose result
 // cache promises byte-identical payloads per run identity). Packages on
@@ -47,11 +48,14 @@ func DeterminismScope(pkgPath string) bool {
 	case strings.HasSuffix(pkgPath, "internal/sim"),
 		strings.HasSuffix(pkgPath, "internal/coherence"),
 		strings.HasSuffix(pkgPath, "internal/core"),
-		strings.HasSuffix(pkgPath, "internal/node"),
-		strings.HasSuffix(pkgPath, "internal/obs"):
+		strings.HasSuffix(pkgPath, "internal/node"):
 		return true
 	}
-	return inSubtree(pkgPath, "internal/experiments") ||
+	// internal/obs is a subtree, not a suffix: the offline analysis
+	// packages under it (txnview) promise the same trace always yields
+	// the same report, so they inherit the rule.
+	return inSubtree(pkgPath, "internal/obs") ||
+		inSubtree(pkgPath, "internal/experiments") ||
 		inSubtree(pkgPath, "internal/server")
 }
 

@@ -1,0 +1,61 @@
+// Fixture reproducing the shapes of the offline trace-analysis packages
+// (internal/obs/txnview): replay state held in maps, diagnostics built
+// while walking them, and report timestamps. Extending DeterminismScope
+// to the internal/obs subtree means every one of these must be flagged —
+// an offline checker that iterates its replay map raw or stamps reports
+// with wall-clock time stops being a pure function of the trace.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+type itemID int32
+type nodeID int16
+type state uint8
+
+type replay struct {
+	copies map[itemID]map[nodeID]state
+	errs   []string
+}
+
+// reportStamped is the classic offline-tool mistake: a report that
+// embeds the time it was generated is never byte-identical twice.
+func reportStamped() string {
+	return fmt.Sprintf("generated at %v", time.Now()) // want `time.Now in simulator code: use the sim.Engine clock`
+}
+
+// checkRaw walks the replay map directly, so the violation list comes
+// out in a different order every run.
+func (r *replay) checkRaw() {
+	for item := range r.copies {
+		r.errs = append(r.errs, fmt.Sprintf("item %d", item)) // want `append inside range over map without a later sort`
+	}
+}
+
+// checkSorted is the canonical fix: collect the keys, sort them, then
+// walk in order. The analyzer stays silent.
+func (r *replay) checkSorted() {
+	items := make([]itemID, 0, len(r.copies))
+	for it := range r.copies {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, item := range items {
+		for n, s := range r.copies[item] {
+			_ = n
+			_ = s
+		}
+	}
+}
+
+// renderRaw builds report text straight off a map range.
+func renderRaw(counts map[string]int64) string {
+	out := ""
+	for k, v := range counts {
+		out += fmt.Sprintf("%s=%d\n", k, v) // want `string concatenation inside range over map`
+	}
+	return out
+}

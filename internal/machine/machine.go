@@ -189,6 +189,7 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Obs != nil {
 		m.coh.SetObserver(cfg.Obs)
 		m.co.SetObserver(cfg.Obs)
+		m.net.SetObserver(cfg.Obs)
 		for i := range m.ams {
 			nid := proto.NodeID(i)
 			m.ams[i].SetStateHook(func(item proto.ItemID, from, to proto.State) {

@@ -8,6 +8,7 @@ import (
 
 	"coma/internal/coherence"
 	"coma/internal/obs"
+	"coma/internal/obs/txnview"
 )
 
 // tracedCfg builds the acceptance-criteria scenario: a 4-node ECP run
@@ -60,6 +61,53 @@ func TestObsTraceByteIdentical(t *testing.T) {
 	if counts[obs.KState] == 0 || counts[obs.KReadFill] == 0 || counts[obs.KQueueDepth] == 0 {
 		t.Errorf("missing event kinds: state=%d read-fill=%d queue-depth=%d",
 			counts[obs.KState], counts[obs.KReadFill], counts[obs.KQueueDepth])
+	}
+}
+
+// TestObsTxnTracing runs the faulted scenario and validates the causal
+// transaction layer end to end: transactions are minted and closed, carry
+// mesh hops, survive a JSONL round trip, and the reconstructed trace
+// passes the offline invariant checker while exercising at least one
+// recovery edge of the protocol table.
+func TestObsTxnTracing(t *testing.T) {
+	cfg := tracedCfg(t)
+	rec, raw := runTraced(t, cfg)
+
+	counts := map[obs.Kind]int{}
+	for _, ev := range rec.Events() {
+		counts[ev.Kind]++
+	}
+	if counts[obs.KTxnBegin] == 0 || counts[obs.KTxnHop] == 0 {
+		t.Fatalf("txn events missing: begin=%d hop=%d", counts[obs.KTxnBegin], counts[obs.KTxnHop])
+	}
+	if counts[obs.KTxnEnd] > counts[obs.KTxnBegin] {
+		t.Errorf("more txn ends (%d) than begins (%d)", counts[obs.KTxnEnd], counts[obs.KTxnBegin])
+	}
+
+	events, err := obs.ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := txnview.Check(events)
+	if !r.OK() {
+		t.Errorf("invariant checker rejected a live run:\n%v", r.Violations)
+	}
+	if r.Txns == 0 || r.Rounds == 0 {
+		t.Errorf("check saw txns=%d rounds=%d, want both > 0", r.Txns, r.Rounds)
+	}
+
+	cov := txnview.Coverage(events)
+	if len(cov.Unexpected) != 0 {
+		t.Errorf("run exercised transitions outside the protocol table: %v", cov.Unexpected)
+	}
+	recovery := false
+	for _, e := range cov.Exercised {
+		if e.RecoveryEdge() {
+			recovery = true
+		}
+	}
+	if !recovery {
+		t.Error("faulted run exercised no recovery edge")
 	}
 }
 

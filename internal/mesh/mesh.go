@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"coma/internal/config"
+	"coma/internal/obs"
 	"coma/internal/proto"
 	"coma/internal/sim"
 )
@@ -92,6 +93,15 @@ type Message struct {
 	// responders copy the requester's future into their reply message so
 	// the blocked requester wakes when the reply physically arrives.
 	Reply *sim.Future[Message]
+	// Txn is the protocol transaction this message belongs to (zero when
+	// tracing is off or the message is outside any traced transaction).
+	// Handlers copy it onto every message they send on the transaction's
+	// behalf so hop events chain across forwards and replies.
+	Txn proto.TxnID
+
+	// sentAt is stamped by Send when an observer is attached, so the
+	// delivery-side hop event can report the message's network latency.
+	sentAt int64
 }
 
 func (m Message) String() string {
@@ -132,8 +142,15 @@ type Network struct {
 	// nobody reads them.
 	inflight [2]int64
 
+	// obs, when non-nil, receives one KTxnHop event per delivery of a
+	// transaction-stamped message. Never affects timing or routing.
+	obs obs.Observer
+
 	stats Stats
 }
+
+// SetObserver attaches the observability sink (nil disables hop events).
+func (n *Network) SetObserver(o obs.Observer) { n.obs = o }
 
 // New builds the mesh for the architecture. Node i sits at
 // (i mod w, i div w) on the smallest near-square mesh.
@@ -195,6 +212,9 @@ func (n *Network) Hops(a, b proto.NodeID) int {
 // Reply future it is completed with the message at delivery time.
 // Messages involving a dead node are silently dropped.
 func (n *Network) Send(m Message) {
+	if n.obs != nil {
+		m.sentAt = n.eng.Now()
+	}
 	if m.Src == m.Dst {
 		// Loopback: no network traversal; the controller hand-off is
 		// free (its work is charged by the handler itself).
@@ -239,6 +259,17 @@ func (n *Network) deliver(m Message) {
 	if n.down[m.Dst] || n.down[m.Src] {
 		n.stats.Dropped++
 		return
+	}
+	if n.obs != nil && m.Txn != proto.NoTxn {
+		n.obs.Emit(obs.Event{
+			Time: n.eng.Now(),
+			Kind: obs.KTxnHop,
+			Node: m.Dst,
+			Item: m.Item,
+			Txn:  m.Txn,
+			A:    int64(m.Kind),
+			B:    n.eng.Now() - m.sentAt,
+		})
 	}
 	if h := n.handlers[m.Dst]; h != nil {
 		h(m)

@@ -102,6 +102,31 @@ func WriteChromeTrace(w io.Writer, clockHz int64, events []Event) error {
 		return buf
 	}
 
+	// async emits the head of a transaction async/flow event: transactions
+	// render as nested "b"/"e" spans per track, and the matching
+	// "s"/"t"/"f" flow events draw arrows following the transaction
+	// across node tracks (matched on cat+id).
+	async := func(buf []byte, ph byte, name string, tid, at, id int64) []byte {
+		buf = append(buf, `{"ph":"`...)
+		buf = append(buf, ph)
+		buf = append(buf, `","cat":"txn","id":"`...)
+		buf = strconv.AppendInt(buf, id, 10)
+		buf = append(buf, `","pid":0,"tid":`...)
+		buf = strconv.AppendInt(buf, tid, 10)
+		buf = append(buf, `,"ts":`...)
+		buf = ts(buf, at)
+		buf = append(buf, `,"name":"`...)
+		buf = append(buf, name...)
+		buf = append(buf, `"`...)
+		return buf
+	}
+	txnTID := func(n int64) int64 {
+		if n < 0 {
+			return coordTID
+		}
+		return n
+	}
+
 	var roundStart int64
 	haveRound := false
 	for i := range events {
@@ -169,6 +194,32 @@ func WriteChromeTrace(w io.Writer, clockHz int64, events []Event) error {
 			buf = append(buf, `,"reply":`...)
 			buf = strconv.AppendInt(buf, ev.B, 10)
 			buf = append(buf, `}}`...)
+		case KTxnBegin:
+			tid := txnTID(int64(ev.Node))
+			buf = async(buf, 'b', TxnOpName(ev.A), tid, ev.Time, int64(ev.Txn))
+			if ev.Par != 0 {
+				buf = append(buf, `,"args":{"parent":"`...)
+				buf = strconv.AppendInt(buf, int64(ev.Par), 10)
+				buf = append(buf, `"}`...)
+			}
+			buf = append(buf, `}`...)
+			if err := emit(buf); err != nil {
+				return err
+			}
+			buf = async(buf[:0], 's', "txn", tid, ev.Time, int64(ev.Txn))
+			buf = append(buf, `}`...)
+		case KTxnHop:
+			buf = async(buf, 't', "txn", txnTID(int64(ev.Node)), ev.Time, int64(ev.Txn))
+			buf = append(buf, `}`...)
+		case KTxnEnd:
+			tid := txnTID(int64(ev.Node))
+			buf = async(buf, 'f', "txn", tid, ev.Time, int64(ev.Txn))
+			buf = append(buf, `,"bp":"e"}`...)
+			if err := emit(buf); err != nil {
+				return err
+			}
+			buf = async(buf[:0], 'e', "", tid, ev.Time, int64(ev.Txn))
+			buf = append(buf, `}`...)
 		case KState, KReadFill, KWriteFill, KInjectProbe, KPhaseBegin:
 			continue
 		default:

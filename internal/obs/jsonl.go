@@ -13,6 +13,8 @@ import (
 
 // jsonlEvent is the on-disk shape of one event. Enumerations travel as
 // their names so logs stay greppable and survive enum renumbering.
+// Txn/Par are pointers so the reader can tell an explicit zero from an
+// absent field and enforce the per-kind field rules below.
 type jsonlEvent struct {
 	Time  int64  `json:"t"`
 	Kind  string `json:"k"`
@@ -21,6 +23,8 @@ type jsonlEvent struct {
 	From  string `json:"from,omitempty"`
 	To    string `json:"to,omitempty"`
 	Cause string `json:"cause,omitempty"`
+	Txn   *int64 `json:"txn,omitempty"`
+	Par   *int64 `json:"par,omitempty"`
 	A     int64  `json:"a"`
 	B     int64  `json:"b"`
 }
@@ -49,6 +53,18 @@ func (ev *Event) appendJSONL(buf []byte) []byte {
 		buf = append(buf, `,"cause":"`...)
 		buf = append(buf, ev.Cause.String()...)
 		buf = append(buf, '"')
+		if ev.Txn != proto.NoTxn {
+			buf = append(buf, `,"txn":`...)
+			buf = strconv.AppendInt(buf, int64(ev.Txn), 10)
+		}
+	}
+	if ev.Kind == KTxnBegin || ev.Kind == KTxnHop || ev.Kind == KTxnEnd {
+		buf = append(buf, `,"txn":`...)
+		buf = strconv.AppendInt(buf, int64(ev.Txn), 10)
+		if ev.Kind == KTxnBegin && ev.Par != proto.NoTxn {
+			buf = append(buf, `,"par":`...)
+			buf = strconv.AppendInt(buf, int64(ev.Par), 10)
+		}
 	}
 	buf = append(buf, `,"a":`...)
 	buf = strconv.AppendInt(buf, ev.A, 10)
@@ -95,7 +111,12 @@ func init() {
 	}
 }
 
-// ReadJSONL parses a JSON-lines log written by WriteJSONL.
+// ReadJSONL parses a JSON-lines log written by WriteJSONL. Parsing is
+// strict — unknown fields, fields on the wrong event kind, out-of-range
+// identifiers and trailing garbage are all line-numbered errors — so
+// that any accepted line re-encodes to the same event (the
+// FuzzJSONLRoundTrip property) and the offline checker never runs on a
+// silently mangled trace.
 func ReadJSONL(r io.Reader) ([]Event, error) {
 	var out []Event
 	sc := bufio.NewScanner(r)
@@ -107,39 +128,9 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		if raw == "" {
 			continue
 		}
-		var je jsonlEvent
-		if err := json.Unmarshal([]byte(raw), &je); err != nil {
+		ev, err := parseJSONLLine(raw)
+		if err != nil {
 			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
-		}
-		k, ok := kindFromName[je.Kind]
-		if !ok {
-			return nil, fmt.Errorf("obs: jsonl line %d: unknown event kind %q", line, je.Kind)
-		}
-		ev := Event{
-			Time: je.Time,
-			Kind: k,
-			Node: proto.NodeID(je.Node),
-			Item: proto.ItemID(je.Item),
-			A:    je.A,
-			B:    je.B,
-		}
-		if je.From != "" || je.To != "" {
-			from, ok := stateFromName[je.From]
-			if !ok {
-				return nil, fmt.Errorf("obs: jsonl line %d: unknown state %q", line, je.From)
-			}
-			to, ok := stateFromName[je.To]
-			if !ok {
-				return nil, fmt.Errorf("obs: jsonl line %d: unknown state %q", line, je.To)
-			}
-			ev.From, ev.To = from, to
-		}
-		if je.Cause != "" {
-			c, ok := causeFromName[je.Cause]
-			if !ok {
-				return nil, fmt.Errorf("obs: jsonl line %d: unknown inject cause %q", line, je.Cause)
-			}
-			ev.Cause = c
 		}
 		out = append(out, ev)
 	}
@@ -147,4 +138,87 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+func parseJSONLLine(raw string) (Event, error) {
+	var je jsonlEvent
+	dec := json.NewDecoder(strings.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&je); err != nil {
+		return Event{}, err
+	}
+	if dec.More() {
+		return Event{}, fmt.Errorf("trailing data after event object")
+	}
+	k, ok := kindFromName[je.Kind]
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", je.Kind)
+	}
+	if je.Node < int64(proto.None) || je.Node > 1<<15-1 {
+		return Event{}, fmt.Errorf("node %d out of range", je.Node)
+	}
+	if je.Item < int64(proto.NoItem) || je.Item > 1<<31-1 {
+		return Event{}, fmt.Errorf("item %d out of range", je.Item)
+	}
+	ev := Event{
+		Time: je.Time,
+		Kind: k,
+		Node: proto.NodeID(je.Node),
+		Item: proto.ItemID(je.Item),
+		A:    je.A,
+		B:    je.B,
+	}
+	inject := k == KInjectProbe || k == KInjectAccept
+	txnKind := k == KTxnBegin || k == KTxnHop || k == KTxnEnd
+	if k == KState {
+		if je.From == "" || je.To == "" {
+			return Event{}, fmt.Errorf("%q event needs from and to states", je.Kind)
+		}
+		from, ok := stateFromName[je.From]
+		if !ok {
+			return Event{}, fmt.Errorf("unknown state %q", je.From)
+		}
+		to, ok := stateFromName[je.To]
+		if !ok {
+			return Event{}, fmt.Errorf("unknown state %q", je.To)
+		}
+		ev.From, ev.To = from, to
+	} else if je.From != "" || je.To != "" {
+		return Event{}, fmt.Errorf("from/to states on non-state event %q", je.Kind)
+	}
+	if inject {
+		c, ok := causeFromName[je.Cause]
+		if !ok {
+			return Event{}, fmt.Errorf("unknown inject cause %q", je.Cause)
+		}
+		ev.Cause = c
+	} else if je.Cause != "" {
+		return Event{}, fmt.Errorf("inject cause on non-inject event %q", je.Kind)
+	}
+	switch {
+	case txnKind:
+		if je.Txn == nil {
+			return Event{}, fmt.Errorf("%q event needs a txn id", je.Kind)
+		}
+		ev.Txn = proto.TxnID(*je.Txn)
+	case inject:
+		if je.Txn != nil {
+			if *je.Txn == 0 {
+				return Event{}, fmt.Errorf("explicit zero txn id on %q event", je.Kind)
+			}
+			ev.Txn = proto.TxnID(*je.Txn)
+		}
+	case je.Txn != nil:
+		return Event{}, fmt.Errorf("txn id on %q event", je.Kind)
+	}
+	if je.Par != nil {
+		if k != KTxnBegin {
+			return Event{}, fmt.Errorf("parent txn on %q event", je.Kind)
+		}
+		if *je.Par == 0 {
+			return Event{}, fmt.Errorf("explicit zero parent txn")
+		}
+		ev.Par = proto.TxnID(*je.Par)
+	}
+	return ev, nil
 }

@@ -166,8 +166,10 @@ func MetricsFromEvents(events []Event) *Metrics {
 			m.QueueDepth[0].Observe(ev.A)
 			m.QueueDepth[1].Observe(ev.B)
 		case KState, KInjectProbe, KPhaseBegin, KRoundBegin, KRoundQuiesced,
-			KRoundEnd, KCommitted, KFault, KRollback, KReconfig:
-			// Counted in the summary, no histogram contribution.
+			KRoundEnd, KCommitted, KFault, KRollback, KReconfig,
+			KTxnBegin, KTxnHop, KTxnEnd:
+			// Counted in the summary, no histogram contribution
+			// (transaction latency breakdowns live in comatrace critpath).
 		}
 	}
 	return m

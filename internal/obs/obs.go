@@ -72,15 +72,32 @@ const (
 	// KQueueDepth is a sim-time ticker sample of mesh occupancy:
 	// A = in-flight messages on the request subnet, B = reply subnet.
 	KQueueDepth
+	// KTxnBegin opens a protocol transaction (Txn = its ID, Par = the
+	// parent transaction or zero): A = TxnOp, B = cycles spent queueing
+	// before the transaction got to work (item-lock or bus wait), so the
+	// request actually arrived at Time - B.
+	KTxnBegin
+	// KTxnHop is one mesh delivery belonging to a transaction: Node is
+	// the destination, A = int64(proto.MsgKind), B = the message's
+	// network latency in cycles (delivery time minus send time).
+	KTxnHop
+	// KTxnEnd closes a transaction: A is op-specific (fill source for
+	// reads/writes, accepting node for injections, round mode for
+	// coordinator rounds), B = total latency in cycles.
+	KTxnEnd
 
 	numKinds
 )
+
+// NumKinds is the number of event kinds (for sizing per-kind tables
+// outside the package).
+const NumKinds = int(numKinds)
 
 var kindNames = [numKinds]string{
 	"state", "read-fill", "write-fill", "inject-probe", "inject-accept",
 	"phase-begin", "phase-end", "round-begin", "round-quiesced",
 	"round-end", "committed", "fault", "rollback", "reconfig",
-	"queue-depth",
+	"queue-depth", "txn-begin", "txn-hop", "txn-end",
 }
 
 func (k Kind) String() string {
@@ -113,6 +130,41 @@ func FillSourceName(src int64) string {
 		return "cold"
 	}
 	return fmt.Sprintf("fill(%d)", src)
+}
+
+// Transaction operations (the A field of KTxnBegin), classifying what
+// the transaction is.
+const (
+	// TxnRead is a read-miss transaction.
+	TxnRead int64 = iota
+	// TxnWrite is a write-miss transaction.
+	TxnWrite
+	// TxnInject is an injection (ring walk + data transfer), usually a
+	// child of the access or round transaction that forced it.
+	TxnInject
+	// TxnCkptRound is a coordinator checkpoint round.
+	TxnCkptRound
+	// TxnRecoveryRound is a coordinator recovery round.
+	TxnRecoveryRound
+
+	NumTxnOps // NumTxnOps is the number of transaction operations.
+)
+
+// TxnOpName names a transaction operation.
+func TxnOpName(op int64) string {
+	switch op {
+	case TxnRead:
+		return "read"
+	case TxnWrite:
+		return "write"
+	case TxnInject:
+		return "inject"
+	case TxnCkptRound:
+		return "ckpt-round"
+	case TxnRecoveryRound:
+		return "recovery-round"
+	}
+	return fmt.Sprintf("op(%d)", op)
 }
 
 // Phase identifies one per-node phase of the checkpoint/recovery
@@ -156,8 +208,15 @@ type Event struct {
 	From  proto.State // KState only
 	To    proto.State // KState only
 	Cause proto.InjectCause
-	A     int64
-	B     int64
+	// Txn is the protocol transaction this event belongs to (KTxnBegin,
+	// KTxnHop, KTxnEnd; also stamped on KInjectProbe/KInjectAccept so
+	// injection events correlate with their transaction). NoTxn elsewhere.
+	Txn proto.TxnID
+	// Par is the parent transaction of a KTxnBegin (the access that
+	// forced an injection, the round that drove a phase), or NoTxn.
+	Par proto.TxnID
+	A   int64
+	B   int64
 }
 
 // Observer receives events as the simulation runs. Implementations must
@@ -194,12 +253,13 @@ var classes = map[string]Mask{
 		1<<KRoundQuiesced | 1<<KRoundEnd | 1<<KCommitted,
 	"fault": 1<<KFault | 1<<KRollback | 1<<KReconfig,
 	"net":   1 << KQueueDepth,
+	"txn":   1<<KTxnBegin | 1<<KTxnHop | 1<<KTxnEnd,
 	"all":   MaskAll,
 }
 
 // FilterClasses returns the valid -obs-filter class names.
 func FilterClasses() []string {
-	return []string{"state", "fill", "inject", "ckpt", "fault", "net", "all"}
+	return []string{"state", "fill", "inject", "ckpt", "fault", "net", "txn", "all"}
 }
 
 // ParseFilter turns a comma-separated class list ("inject,ckpt,fault")

@@ -71,12 +71,17 @@ func TestRecorderMask(t *testing.T) {
 }
 
 func sampleEvents() []Event {
+	inj := proto.MakeTxnID(1, 1) // an injection transaction...
+	par := proto.MakeTxnID(0, 7) // ...forced by this access
 	return []Event{
 		{Time: 10, Kind: KState, Node: 0, Item: 7, From: proto.Shared, To: proto.PreCommit1},
 		{Time: 20, Kind: KReadFill, Node: 1, Item: 9, A: FillRemote, B: 144},
 		{Time: 25, Kind: KWriteFill, Node: 2, Item: 3, A: FillLocal, B: 30},
-		{Time: 30, Kind: KInjectProbe, Node: 1, Item: 9, Cause: proto.InjectCheckpoint, A: 2, B: 0},
-		{Time: 40, Kind: KInjectAccept, Node: 1, Item: 9, Cause: proto.InjectCheckpoint, A: 3, B: 1},
+		{Time: 28, Kind: KTxnBegin, Node: 1, Item: 9, Txn: inj, Par: par, A: TxnInject},
+		{Time: 30, Kind: KInjectProbe, Node: 1, Item: 9, Cause: proto.InjectCheckpoint, Txn: inj, A: 2, B: 0},
+		{Time: 35, Kind: KTxnHop, Node: 3, Item: 9, Txn: inj, A: int64(proto.MsgInjectData), B: 5},
+		{Time: 40, Kind: KInjectAccept, Node: 1, Item: 9, Cause: proto.InjectCheckpoint, Txn: inj, A: 3, B: 1},
+		{Time: 45, Kind: KTxnEnd, Node: 1, Item: 9, Txn: inj, A: 3, B: 17},
 		{Time: 50, Kind: KRoundBegin, A: 0, B: 1},
 		{Time: 55, Kind: KRoundQuiesced, Node: proto.None, B: 1},
 		{Time: 60, Kind: KPhaseBegin, Node: 0, A: int64(PhaseCreate)},
@@ -195,7 +200,7 @@ func TestWriteSummary(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		"observed events: 15",
+		"observed events: 18",
 		"read miss latency",
 		"injection hops",
 		"phase create duration",

@@ -34,7 +34,8 @@ func WriteSummary(w io.Writer, events []Event) error {
 		case KCommitted:
 			commits++
 		case KState, KInjectProbe, KInjectAccept, KPhaseBegin, KPhaseEnd,
-			KRoundBegin, KRoundQuiesced, KRoundEnd, KReconfig, KQueueDepth:
+			KRoundBegin, KRoundQuiesced, KRoundEnd, KReconfig, KQueueDepth,
+			KTxnBegin, KTxnHop, KTxnEnd:
 		}
 	}
 

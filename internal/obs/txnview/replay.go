@@ -1,0 +1,325 @@
+package txnview
+
+import (
+	"fmt"
+	"sort"
+
+	"coma/internal/obs"
+	"coma/internal/proto"
+)
+
+// replay is the trace-replay state machine shared by Check and
+// Coverage: it tracks every item copy's coherence state across the
+// trace, synthesises the scan transforms that the simulator's bulk
+// scans perform without per-item events, and evaluates the recovery
+// invariants at quiescent points.
+//
+// Sources of state knowledge:
+//
+//   - KState events record individual transitions (installs,
+//     invalidations, downgrades, injections).
+//   - The commit and recovery scans mutate whole attraction memories in
+//     one pass and emit only KPhaseEnd; their effect is synthesised here
+//     from the protocol definition (PreCommit -> Shared-CK and Inv-CK
+//     discarded at commit; current state dropped and Inv-CK restored at
+//     rollback).
+//   - KFault destroys a node's AM contents wholesale.
+type replay struct {
+	// copies[item][node] is the item's non-Invalid state on the node.
+	copies map[proto.ItemID]map[proto.NodeID]proto.State
+	// pending[txn] snapshots fill-legality predicates at access begin.
+	pending map[proto.TxnID]fillSnap
+	// observed counts every state transition seen or synthesised.
+	observed map[transKey]int64
+
+	round int64 // current round number (0 outside rounds)
+	mode  int64 // current round mode (KRoundBegin.A)
+
+	errs []string
+}
+
+type fillSnap struct {
+	anyCopy  bool // some non-Invalid copy existed at begin
+	anyOwner bool // some owner-state copy existed at begin
+}
+
+type transKey struct{ from, to proto.State }
+
+func newReplay() *replay {
+	return &replay{
+		copies:   make(map[proto.ItemID]map[proto.NodeID]proto.State),
+		pending:  make(map[proto.TxnID]fillSnap),
+		observed: make(map[transKey]int64),
+	}
+}
+
+const maxErrors = 20
+
+func (r *replay) errorf(format string, args ...any) {
+	if len(r.errs) < maxErrors {
+		r.errs = append(r.errs, fmt.Sprintf(format, args...))
+	} else if len(r.errs) == maxErrors {
+		r.errs = append(r.errs, "further violations suppressed")
+	}
+}
+
+func (r *replay) state(item proto.ItemID, n proto.NodeID) proto.State {
+	if m := r.copies[item]; m != nil {
+		return m[n] // zero value is Invalid
+	}
+	return proto.Invalid
+}
+
+func (r *replay) set(item proto.ItemID, n proto.NodeID, s proto.State) {
+	m := r.copies[item]
+	if s == proto.Invalid {
+		if m != nil {
+			delete(m, n)
+			if len(m) == 0 {
+				delete(r.copies, item)
+			}
+		}
+		return
+	}
+	if m == nil {
+		m = make(map[proto.NodeID]proto.State)
+		r.copies[item] = m
+	}
+	m[n] = s
+}
+
+// step replays one event. i is the event's index (for diagnostics).
+func (r *replay) step(i int, ev obs.Event) {
+	switch ev.Kind {
+	case obs.KState:
+		if cur := r.state(ev.Item, ev.Node); cur != ev.From {
+			r.errorf("event %d (cycle %d, round %d): node %v item %d records %v -> %v but replay holds the copy in %v",
+				i, ev.Time, r.round, ev.Node, ev.Item, ev.From, ev.To, cur)
+		}
+		r.observed[transKey{ev.From, ev.To}]++
+		r.set(ev.Item, ev.Node, ev.To)
+
+	case obs.KTxnBegin:
+		if ev.Txn != proto.NoTxn && ev.Item != proto.NoItem &&
+			(ev.A == obs.TxnRead || ev.A == obs.TxnWrite) {
+			var s fillSnap
+			for _, st := range r.copies[ev.Item] {
+				s.anyCopy = true
+				if st.Owner() {
+					s.anyOwner = true
+				}
+			}
+			r.pending[ev.Txn] = s
+		}
+
+	case obs.KTxnEnd:
+		// For read/write transactions (the only ones in pending) the
+		// end event's A is the fill source, so legality is judged here:
+		// the fill events themselves do not carry the transaction id on
+		// the wire.
+		snap, ok := r.pending[ev.Txn]
+		if !ok {
+			break // not an access txn, or its begin was filtered out
+		}
+		delete(r.pending, ev.Txn)
+		switch ev.A {
+		case obs.FillRemote:
+			if !snap.anyCopy {
+				r.errorf("event %d (cycle %d, round %d): node %v filled item %d remotely but no copy existed anywhere when %v began — fill from an invalid copy",
+					i, ev.Time, r.round, ev.Node, ev.Item, ev.Txn)
+			}
+		case obs.FillCold:
+			if snap.anyOwner {
+				r.errorf("event %d (cycle %d, round %d): node %v cold-filled item %d but an owner copy existed when %v began — the master was bypassed",
+					i, ev.Time, r.round, ev.Node, ev.Item, ev.Txn)
+			}
+		}
+
+	case obs.KPhaseEnd:
+		switch obs.Phase(ev.A) {
+		case obs.PhaseCommit:
+			r.scan(ev.Node, commitTransform)
+		case obs.PhaseRecoveryScan:
+			r.scan(ev.Node, recoveryTransform)
+		case obs.PhaseCreate, obs.PhaseReconfigure, obs.NumPhases:
+			// Create and reconfigure mutate through the state hook;
+			// every change already arrived as KState.
+		}
+
+	case obs.KFault:
+		// Fail-silent: the node's AM contents are gone. Not a protocol
+		// transition, so nothing is recorded as coverage.
+		for item, m := range r.copies {
+			if _, ok := m[ev.Node]; ok {
+				delete(m, ev.Node)
+				if len(m) == 0 {
+					delete(r.copies, item)
+				}
+			}
+		}
+
+	case obs.KRoundBegin:
+		r.round = ev.B
+		r.mode = ev.A
+
+	case obs.KRoundQuiesced:
+		r.checkOwnerUnique(i, ev.Time, "quiesce")
+
+	case obs.KCommitted:
+		r.checkOwnerUnique(i, ev.Time, "commit")
+		r.checkCommitAtomic(i, ev.Time)
+
+	case obs.KRoundEnd:
+		r.checkOwnerUnique(i, ev.Time, "round end")
+		if ev.A == 1 { // recovery round
+			r.checkRecoveryPersistence(i, ev.Time)
+		}
+		r.round, r.mode = 0, 0
+	}
+}
+
+// scan applies a bulk AM-scan transform to every copy on one node,
+// recording the synthesised transitions.
+func (r *replay) scan(n proto.NodeID, transform func(proto.State) (proto.State, bool)) {
+	for item, m := range r.copies {
+		st, ok := m[n]
+		if !ok {
+			continue
+		}
+		to, changed := transform(st)
+		if !changed {
+			continue
+		}
+		r.observed[transKey{st, to}]++
+		r.set(item, n, to)
+	}
+}
+
+// commitTransform is the commit scan: PreCommit copies become the new
+// recovery point, Inv-CK copies of the previous one are discarded.
+func commitTransform(s proto.State) (proto.State, bool) {
+	switch s {
+	case proto.PreCommit1:
+		return proto.SharedCK1, true
+	case proto.PreCommit2:
+		return proto.SharedCK2, true
+	case proto.InvCK1, proto.InvCK2:
+		return proto.Invalid, true
+	case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive,
+		proto.SharedCK1, proto.SharedCK2:
+		return s, false
+	}
+	return s, false
+}
+
+// recoveryTransform is the rollback scan: current and pre-commit copies
+// are dropped, Inv-CK copies are restored to Shared-CK.
+func recoveryTransform(s proto.State) (proto.State, bool) {
+	switch s {
+	case proto.Shared, proto.Exclusive, proto.MasterShared,
+		proto.PreCommit1, proto.PreCommit2:
+		return proto.Invalid, true
+	case proto.InvCK1:
+		return proto.SharedCK1, true
+	case proto.InvCK2:
+		return proto.SharedCK2, true
+	case proto.Invalid, proto.SharedCK1, proto.SharedCK2:
+		return s, false
+	}
+	return s, false
+}
+
+// sortedItems returns the items that currently have copies, ascending,
+// so invariant diagnostics come out in a deterministic order.
+func (r *replay) sortedItems() []proto.ItemID {
+	items := make([]proto.ItemID, 0, len(r.copies))
+	for it := range r.copies {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	return items
+}
+
+// sortedNodes returns the nodes holding copies in m, ascending.
+func sortedNodes(m map[proto.NodeID]proto.State) []proto.NodeID {
+	nodes := make([]proto.NodeID, 0, len(m))
+	for n := range m {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// checkOwnerUnique verifies the single-master invariant: at a quiescent
+// point no item may have two owner-state copies. (Mid-transaction an
+// injection legitimately holds two while the copy moves, so the check
+// only runs when the machine is drained.)
+func (r *replay) checkOwnerUnique(i int, t int64, where string) {
+	for _, item := range r.sortedItems() {
+		m := r.copies[item]
+		owners := 0
+		for _, n := range sortedNodes(m) {
+			if m[n].Owner() {
+				owners++
+			}
+		}
+		if owners > 1 {
+			r.errorf("event %d (cycle %d, round %d): item %d has %d owner copies at %s: %s",
+				i, t, r.round, item, owners, where, copyList(m))
+		}
+	}
+}
+
+// checkCommitAtomic verifies checkpoint atomicity: at the commit
+// instant every node's scan has finished, so no transient PreCommit or
+// stale Inv-CK copy may survive.
+func (r *replay) checkCommitAtomic(i int, t int64) {
+	for _, item := range r.sortedItems() {
+		m := r.copies[item]
+		for _, n := range sortedNodes(m) {
+			switch st := m[n]; st {
+			case proto.PreCommit1, proto.PreCommit2:
+				r.errorf("event %d (cycle %d, round %d): commit atomicity: item %d still has a %v copy on node %v at commit",
+					i, t, r.round, item, st, n)
+			case proto.InvCK1, proto.InvCK2:
+				r.errorf("event %d (cycle %d, round %d): commit atomicity: item %d kept the stale %v copy on node %v past commit",
+					i, t, r.round, item, st, n)
+			case proto.Invalid, proto.Shared, proto.MasterShared, proto.Exclusive,
+				proto.SharedCK1, proto.SharedCK2:
+				// Legal at a commit point.
+			}
+		}
+	}
+}
+
+// checkRecoveryPersistence verifies that a rollback lost no master: at
+// the end of a recovery round every surviving item (any copy left) has
+// exactly one owner copy — the restored or promoted Shared-CK1.
+func (r *replay) checkRecoveryPersistence(i int, t int64) {
+	for _, item := range r.sortedItems() {
+		m := r.copies[item]
+		owners := 0
+		for _, n := range sortedNodes(m) {
+			if m[n].Owner() {
+				owners++
+			}
+		}
+		if owners != 1 {
+			r.errorf("event %d (cycle %d, round %d): rollback left item %d with %d owner copies (want 1): %s",
+				i, t, r.round, item, owners, copyList(m))
+		}
+	}
+}
+
+// copyList renders an item's copies ("node n2 (Shared-CK1), ...") in
+// node order.
+func copyList(m map[proto.NodeID]proto.State) string {
+	s := ""
+	for i, n := range sortedNodes(m) {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("node %v (%v)", n, m[n])
+	}
+	return s
+}

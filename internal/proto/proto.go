@@ -344,3 +344,113 @@ func (c InjectCause) OnRead() bool { return c == InjectReadInvCK }
 func (c InjectCause) OnWrite() bool {
 	return c == InjectWriteInvCK || c == InjectWriteSharedCK
 }
+
+// TxnID identifies one protocol transaction (a read or write miss, an
+// injection, or a whole checkpoint/recovery round) across every message
+// and observability event it touches. IDs are minted at the transaction's
+// origin from a per-origin monotonic counter, so they are deterministic
+// for a given seed: same run, same IDs.
+//
+// Layout: bits 40+ hold the origin (NodeID+1, so the coordinator's None
+// origin encodes as 0), bits 0..39 the per-origin sequence number, which
+// must start at 1. The zero TxnID means "no transaction" and is never
+// minted.
+type TxnID int64
+
+// NoTxn is the zero TxnID: the message or event belongs to no traced
+// transaction.
+const NoTxn TxnID = 0
+
+// txnSeqBits is the width of the per-origin sequence field.
+const txnSeqBits = 40
+
+// MakeTxnID mints the transaction ID for the seq-th transaction
+// originated by node origin (None for the checkpoint coordinator).
+// seq must be >= 1.
+func MakeTxnID(origin NodeID, seq int64) TxnID {
+	if seq <= 0 {
+		panic(fmt.Sprintf("proto: MakeTxnID seq %d (must be >= 1)", seq))
+	}
+	return TxnID((int64(origin)+1)<<txnSeqBits | seq)
+}
+
+// Valid reports whether t names an actual transaction.
+func (t TxnID) Valid() bool { return t != NoTxn }
+
+// Origin returns the node that minted t (None for coordinator rounds).
+func (t TxnID) Origin() NodeID { return NodeID(int64(t)>>txnSeqBits) - 1 }
+
+// Seq returns t's per-origin sequence number.
+func (t TxnID) Seq() int64 { return int64(t) & (1<<txnSeqBits - 1) }
+
+func (t TxnID) String() string {
+	if t == NoTxn {
+		return "txn:none"
+	}
+	return fmt.Sprintf("txn:%v#%d", t.Origin(), t.Seq())
+}
+
+// Transition is one edge of the Extended Coherence Protocol's state
+// machine as implemented by the engines: a copy in state From moves to
+// state To through the protocol action described by Via.
+type Transition struct {
+	From, To State
+	Via      string
+}
+
+// RecoveryEdge reports whether the edge touches a recovery state on
+// either end — the edges the paper adds over standard COMA-F, and the
+// ones a coverage report most wants exercised.
+func (tr Transition) RecoveryEdge() bool {
+	return tr.From.Recovery() || tr.To.Recovery()
+}
+
+// ECPTransitions returns the full per-copy transition table of the
+// Extended Coherence Protocol (standard COMA-F edges plus the recovery
+// edges of paper §4), deduplicated on (From, To). This is the reference
+// matrix `comatrace coverage` diffs an observed trace against; keep it in
+// sync with the coherence and snoop engines.
+func ECPTransitions() []Transition {
+	t := []Transition{
+		// Standard COMA-F access edges.
+		{Invalid, Shared, "read fill (cold, remote or injected)"},
+		{Invalid, Exclusive, "write fill"},
+		{Shared, Exclusive, "write upgrade after invalidating sharers"},
+		{MasterShared, Exclusive, "in-place write upgrade by the master"},
+		{Exclusive, MasterShared, "owner downgrade serving a read miss"},
+		{Exclusive, Invalid, "ownership transfer / replacement / rollback"},
+		{MasterShared, Invalid, "ownership transfer / replacement / rollback"},
+		{Shared, Invalid, "invalidation / silent replacement / rollback"},
+		// Write to an item unmodified since the recovery point: the
+		// committed pair is preserved as Inv-CK (paper Table 1).
+		{SharedCK1, InvCK1, "write to unmodified item (primary demoted)"},
+		{SharedCK2, InvCK2, "write to unmodified item (partner demoted)"},
+		// Recovery-point establishment.
+		{Exclusive, PreCommit1, "create phase: modified item enters pre-commit"},
+		{MasterShared, PreCommit1, "create phase: modified item enters pre-commit"},
+		{Shared, PreCommit2, "create phase: replication reuse of a Shared copy"},
+		{PreCommit1, SharedCK1, "commit scan"},
+		{PreCommit2, SharedCK2, "commit scan"},
+		{InvCK1, Invalid, "commit scan discard / injection moves the copy"},
+		{InvCK2, Invalid, "commit scan discard / injection moves the copy"},
+		// Rollback and reconfiguration.
+		{InvCK1, SharedCK1, "recovery scan restores the recovery point"},
+		{InvCK2, SharedCK2, "recovery scan restores the recovery point"},
+		{PreCommit1, Invalid, "recovery scan aborts an uncommitted point"},
+		{PreCommit2, Invalid, "recovery scan aborts an uncommitted point"},
+		{SharedCK2, SharedCK1, "reconfiguration promotes the surviving copy"},
+		{SharedCK1, Invalid, "injection moves the copy elsewhere"},
+		{SharedCK2, Invalid, "injection moves the copy elsewhere"},
+	}
+	// Injection installs: the accepting AM overwrites an Invalid or Shared
+	// slot with the migrating copy's state (paper §4.1 allows only those
+	// two victims). Exclusive/Shared targets are covered above; list the
+	// remaining install edges explicitly.
+	for _, to := range []State{MasterShared, SharedCK1, SharedCK2, InvCK1, InvCK2, PreCommit2} {
+		t = append(t,
+			Transition{Invalid, to, "injection install"},
+			Transition{Shared, to, "injection install overwriting a Shared victim"},
+		)
+	}
+	return t
+}

@@ -5,6 +5,9 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"coma/internal/obs"
 )
 
 // metrics is the daemon's hand-rolled Prometheus registry: a handful of
@@ -25,6 +28,12 @@ type metrics struct {
 
 	queueWait histogram // seconds queued before a worker picks the job up
 	runTime   histogram // seconds simulating (done jobs)
+
+	// obsEvents tallies every simulator observability event by kind,
+	// across all jobs. Updated with atomic adds straight from the
+	// progressBridge on the simulation hot path — deliberately outside
+	// mu, which would be far too expensive per event.
+	obsEvents [obs.NumKinds]int64
 }
 
 func newMetrics() *metrics {
@@ -123,6 +132,13 @@ func (m *metrics) write(w io.Writer, queueDepth, inflight, storeLen int) {
 	sort.Ints(codes)
 	for _, code := range codes {
 		fmt.Fprintf(w, "comad_http_responses_total{code=\"%d\"} %d\n", code, m.httpByCode[code])
+	}
+
+	fmt.Fprintf(w, "# HELP coma_obs_events_total Simulator observability events by kind, across all jobs.\n")
+	fmt.Fprintf(w, "# TYPE coma_obs_events_total counter\n")
+	for k := 0; k < obs.NumKinds; k++ {
+		fmt.Fprintf(w, "coma_obs_events_total{kind=%q} %d\n",
+			obs.Kind(k).String(), atomic.LoadInt64(&m.obsEvents[k]))
 	}
 
 	m.queueWait.write(w, "comad_queue_wait_seconds", "Wall seconds jobs spent queued.")

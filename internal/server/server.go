@@ -35,7 +35,6 @@ import (
 
 	"coma/internal/config"
 	"coma/internal/experiments/runner"
-	"coma/internal/obs"
 )
 
 // Options configures a Server.
@@ -262,13 +261,16 @@ func (s *Server) execute(j *job) {
 	s.met.observeQueueWait(now.Sub(j.queuedAt).Seconds())
 	s.logf("job %s: running (%s/%s on %d nodes)", shortID(j.id), j.spec.App, j.identity.Protocol, j.identity.Arch.Nodes)
 
-	var observer obs.Observer
+	// The bridge is always installed so /metrics counts every job's
+	// observability events; SSE forwarding is only wired up when the
+	// job asked for progress streaming.
+	observer := &progressBridge{counts: &s.met.obsEvents}
 	if j.spec.Progress {
-		observer = &progressBridge{publish: func(msg string, simCycles int64) {
+		observer.publish = func(msg string, simCycles int64) {
 			s.mu.Lock()
 			s.appendEventLocked(j, JobEvent{Type: "progress", Message: msg, SimCycles: simCycles})
 			s.mu.Unlock()
-		}}
+		}
 	}
 	res, err := s.runner(j.identity, observer)
 	var payload []byte

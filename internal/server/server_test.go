@@ -323,8 +323,13 @@ func TestResultEndpointServesStoredBytes(t *testing.T) {
 
 func TestMetricsAndHealthz(t *testing.T) {
 	var runs atomic.Int64
-	_, ts := newTestServer(t, Options{Workers: 2, Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+	_, ts := newTestServer(t, Options{Workers: 2, Runner: func(id config.RunIdentity, observer obs.Observer) (*stats.Run, error) {
 		runs.Add(1)
+		// The bridge is installed even without progress streaming, so
+		// these must surface as coma_obs_events_total below.
+		observer.Emit(obs.Event{Kind: obs.KReadFill, Time: 10})
+		observer.Emit(obs.Event{Kind: obs.KReadFill, Time: 20})
+		observer.Emit(obs.Event{Kind: obs.KTxnBegin, Time: 30})
 		return fakeRun(id), nil
 	}})
 	postJob(t, ts, specJSON(1), true)
@@ -344,6 +349,9 @@ func TestMetricsAndHealthz(t *testing.T) {
 		`comad_jobs_total{state="done"} 1`,
 		"comad_queue_wait_seconds_count 1",
 		"comad_store_entries 1",
+		`coma_obs_events_total{kind="read-fill"} 2`,
+		`coma_obs_events_total{kind="txn-begin"} 1`,
+		`coma_obs_events_total{kind="state"} 0`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)

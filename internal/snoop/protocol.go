@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coma/internal/am"
+	"coma/internal/obs"
 	"coma/internal/proto"
 	"coma/internal/sim"
 )
@@ -27,14 +28,21 @@ func (m *Machine) read(p *sim.Process, n proto.NodeID, item proto.ItemID) {
 	}
 	c.AMReadMisses++
 
+	busStart := p.Now()
 	m.bus.Acquire(p)
+	var txn proto.TxnID
+	if m.obs != nil {
+		txn = m.mintTxn(n)
+		m.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnBegin, Node: n, Item: item,
+			Txn: txn, A: obs.TxnRead, B: p.Now() - busStart})
+	}
 	p.Wait(m.cfg.AddrPhase)
 	m.busCycles += m.cfg.AddrPhase
 
 	if st := m.ams[n].State(item); st.Recovery() {
-		m.inject(p, n, item, proto.InjectReadInvCK)
+		m.inject(p, n, item, proto.InjectReadInvCK, txn)
 	}
-	m.ensureFrame(p, n, item)
+	m.ensureFrame(p, n, item, txn)
 
 	if supplier, slot := m.findSupplier(item); supplier != proto.None {
 		// All state changes happen at the snoop instant — a fast-path
@@ -50,6 +58,10 @@ func (m *Machine) read(p *sim.Process, n proto.NodeID, item proto.ItemID) {
 		m.busCycles += m.cfg.DataPhase
 		m.bus.Release(m.eng)
 		p.Wait(m.arch.AMAccess)
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnEnd, Node: n, Item: item,
+				Txn: txn, A: obs.FillRemote, B: p.Now() - busStart})
+		}
 		return
 	}
 	// Never written anywhere: initialised-background zero copy.
@@ -58,6 +70,10 @@ func (m *Machine) read(p *sim.Process, n proto.NodeID, item proto.ItemID) {
 	m.verify(n, item, 0)
 	m.bus.Release(m.eng)
 	p.Wait(m.arch.AMAccess)
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnEnd, Node: n, Item: item,
+			Txn: txn, A: obs.FillCold, B: p.Now() - busStart})
+	}
 }
 
 // write obtains exclusivity in one bus tenure: the snoop phase
@@ -75,17 +91,24 @@ func (m *Machine) write(p *sim.Process, n proto.NodeID, item proto.ItemID, value
 	}
 	c.AMWriteMisses++
 
+	busStart := p.Now()
 	m.bus.Acquire(p)
+	var txn proto.TxnID
+	if m.obs != nil {
+		txn = m.mintTxn(n)
+		m.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnBegin, Node: n, Item: item,
+			Txn: txn, A: obs.TxnWrite, B: p.Now() - busStart})
+	}
 	p.Wait(m.cfg.AddrPhase)
 	m.busCycles += m.cfg.AddrPhase
 
 	switch st := m.ams[n].State(item); {
 	case st == proto.InvCK1 || st == proto.InvCK2:
-		m.inject(p, n, item, proto.InjectWriteInvCK)
+		m.inject(p, n, item, proto.InjectWriteInvCK, txn)
 	case st == proto.SharedCK1 || st == proto.SharedCK2:
-		m.inject(p, n, item, proto.InjectWriteSharedCK)
+		m.inject(p, n, item, proto.InjectWriteSharedCK, txn)
 	}
-	m.ensureFrame(p, n, item)
+	m.ensureFrame(p, n, item, txn)
 
 	// Snoop responses: every state change happens at this instant (the
 	// data transfer afterwards is pure timing).
@@ -131,6 +154,14 @@ func (m *Machine) write(p *sim.Process, n proto.NodeID, item proto.ItemID, value
 	}
 	m.bus.Release(m.eng)
 	p.Wait(m.arch.AMAccess)
+	if m.obs != nil {
+		src := obs.FillCold
+		if supplied {
+			src = obs.FillRemote
+		}
+		m.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnEnd, Node: n, Item: item,
+			Txn: txn, A: src, B: p.Now() - busStart})
+	}
 }
 
 // findSupplier returns the node that answers a read miss: the owner copy
@@ -153,7 +184,7 @@ func (m *Machine) findSupplier(item proto.ItemID) (proto.NodeID, am.Slot) {
 // ensureFrame allocates the local page frame, reserving the anchor
 // frames on first global touch and evicting (with injections) when the
 // set is full — all within the current bus tenure.
-func (m *Machine) ensureFrame(p *sim.Process, n proto.NodeID, item proto.ItemID) {
+func (m *Machine) ensureFrame(p *sim.Process, n proto.NodeID, item proto.ItemID, txn proto.TxnID) {
 	page := m.arch.PageOf(item)
 	if !m.anchors[page] {
 		m.anchors[page] = true
@@ -163,7 +194,7 @@ func (m *Machine) ensureFrame(p *sim.Process, n proto.NodeID, item proto.ItemID)
 		}
 		a := n
 		for k := 0; k < count && k < m.arch.Nodes; k++ {
-			m.anchorFrame(p, a, page)
+			m.anchorFrame(p, a, page, txn)
 			a = proto.NodeID((int(a) + 1) % m.arch.Nodes)
 		}
 	}
@@ -172,24 +203,24 @@ func (m *Machine) ensureFrame(p *sim.Process, n proto.NodeID, item proto.ItemID)
 		return
 	}
 	if !m.ams[n].FreeWay(page) {
-		m.evict(p, n, page)
+		m.evict(p, n, page, txn)
 	}
 	m.ams[n].AllocFrame(page, false, p.Now())
 }
 
-func (m *Machine) anchorFrame(p *sim.Process, a proto.NodeID, page proto.PageID) {
+func (m *Machine) anchorFrame(p *sim.Process, a proto.NodeID, page proto.PageID, txn proto.TxnID) {
 	if m.ams[a].HasFrame(page) {
 		m.ams[a].MarkIrreplaceable(page)
 		return
 	}
 	if !m.ams[a].FreeWay(page) {
-		m.evict(p, a, page)
+		m.evict(p, a, page, txn)
 	}
 	m.ams[a].AllocFrame(page, true, p.Now())
 }
 
 // evict frees a way by injecting the victim frame's pinned items.
-func (m *Machine) evict(p *sim.Process, n proto.NodeID, page proto.PageID) {
+func (m *Machine) evict(p *sim.Process, n proto.NodeID, page proto.PageID, par proto.TxnID) {
 	victim, ok := m.ams[n].VictimPage(page)
 	if !ok {
 		panic(fmt.Sprintf("snoop: node %v cannot evict for page %d", n, page))
@@ -211,7 +242,7 @@ func (m *Machine) evict(p *sim.Process, n proto.NodeID, page proto.PageID) {
 			// while the bus is quiesced for an establishment.
 			panic(fmt.Sprintf("snoop: evicting item %d in transient %v", it, st))
 		}
-		m.inject(p, n, it, cause)
+		m.inject(p, n, it, cause, par)
 	}
 	first := m.arch.FirstItem(victim)
 	for i := 0; i < m.arch.ItemsPerPage(); i++ {
@@ -225,19 +256,34 @@ func (m *Machine) evict(p *sim.Process, n proto.NodeID, page proto.PageID) {
 
 // inject moves the local copy of item to another AM inside the current
 // bus tenure: the snoop phase already arbitrated, so acceptance is a
-// simple scan in ring order, and the move costs one data phase.
-func (m *Machine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID, cause proto.InjectCause) proto.NodeID {
+// simple scan in ring order, and the move costs one data phase. par is
+// the transaction that forced the injection; the injection itself is
+// traced as a child transaction parented to it.
+func (m *Machine) inject(p *sim.Process, n proto.NodeID, item proto.ItemID,
+	cause proto.InjectCause, par proto.TxnID) proto.NodeID {
+
 	src := m.ams[n].Slot(item)
 	if src.State.Replaceable() {
 		panic(fmt.Sprintf("snoop: injecting item %d from %v in %v", item, n, src.State))
 	}
 	m.c[n].Injections[cause]++
+	start := p.Now()
+	var txn proto.TxnID
+	if m.obs != nil {
+		txn = m.mintTxn(n)
+		m.obs.Emit(obs.Event{Time: start, Kind: obs.KTxnBegin, Node: n, Item: item,
+			Txn: txn, Par: par, A: obs.TxnInject})
+	}
 	target := m.placeCopy(p, n, item, src.State, src.Value, src.Partner)
 	if src.State.Recovery() && src.Partner != proto.None && src.Partner != target {
 		m.ams[src.Partner].SetPartner(item, target)
 	}
 	m.ams[n].SetState(item, proto.Invalid)
 	m.ams[n].SetPartner(item, proto.None)
+	if m.obs != nil {
+		m.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KTxnEnd, Node: n, Item: item,
+			Txn: txn, A: int64(target), B: p.Now() - start})
+	}
 	return target
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"coma/internal/am"
 	"coma/internal/config"
+	"coma/internal/obs"
 	"coma/internal/proto"
 	"coma/internal/sim"
 	"coma/internal/stats"
@@ -44,6 +45,11 @@ type Config struct {
 	// same serialisation cost as one item on a mesh link.
 	AddrPhase int64
 	DataPhase int64
+
+	// Obs, when non-nil, receives state-change and transaction events
+	// (the bus machine has no network, so transactions have no hops: a
+	// miss is one bus tenure). Never affects timing.
+	Obs obs.Observer
 }
 
 // Machine is one assembled bus COMA.
@@ -73,6 +79,17 @@ type Machine struct {
 	firstErr  error
 	ckpt      stats.Checkpointing
 	busCycles int64
+
+	// obs and the per-node transaction counters; txnSeq only advances
+	// when an observer is attached, so untraced runs are unaffected.
+	obs    obs.Observer
+	txnSeq []int64
+}
+
+// mintTxn allocates the node's next transaction ID (observer attached).
+func (m *Machine) mintTxn(n proto.NodeID) proto.TxnID {
+	m.txnSeq[n]++
+	return proto.MakeTxnID(n, m.txnSeq[n])
 }
 
 // New assembles a bus COMA.
@@ -127,6 +144,17 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Oracle {
 		m.oracle = make(map[proto.ItemID]uint64)
 		m.committed = make(map[proto.ItemID]uint64)
+	}
+	if cfg.Obs != nil {
+		m.obs = cfg.Obs
+		m.txnSeq = make([]int64, n)
+		for i := range m.ams {
+			nid := proto.NodeID(i)
+			m.ams[i].SetStateHook(func(item proto.ItemID, from, to proto.State) {
+				cfg.Obs.Emit(obs.Event{Time: m.eng.Now(), Kind: obs.KState,
+					Node: nid, Item: item, From: from, To: to})
+			})
+		}
 	}
 	m.genSnaps = make([]workload.Snapshot, n)
 	for i := range m.gens {
