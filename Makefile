@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint comalint staticcheck bench bench-json smoke-serve check
+.PHONY: all build test race vet lint comalint staticcheck bench bench-json smoke-serve model check
 
 all: check
 
@@ -51,6 +51,15 @@ bench-json:
 # payloads, metrics, graceful drain on SIGTERM (see README §Serving).
 smoke-serve:
 	bash scripts/smoke-serve.sh
+
+# model runs the protocol-conformance gate: static extraction over both
+# engines, exhaustive model checking, the staged runtime edge suite, and
+# the four-way diff (spec vs code vs model vs runtime coverage). Exit is
+# non-zero on any drift or on incomplete edge coverage (see README
+# §Model checking).
+model:
+	$(GO) run ./cmd/comafault -edges -trace-dir /tmp/coma-edges
+	$(GO) run ./cmd/comamodel diff -C . -require-full-coverage /tmp/coma-edges/*.jsonl
 
 # check is the full tier-1 gate: everything CI enforces that can run
 # offline.

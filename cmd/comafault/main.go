@@ -6,6 +6,15 @@
 //
 //	comafault -app mp3d -scale 0.01 -hz 100 -mtbf 5000000
 //	comafault -app water -scale 0.01 -hz 200 -fail 400000:3 -fail 800000:7:perm
+//
+// With -edges it instead runs the staged protocol-edge suite
+// (internal/fault/edges): six deterministic choreographies that
+// together exercise every edge of the ECP specification table. The
+// report goes to stdout, -trace-dir writes one JSONL trace per scenario
+// (comamodel diff consumes them as the runtime leg of the conformance
+// gate), and the exit status is 0 only on full coverage.
+//
+//	comafault -edges -trace-dir /tmp/edges
 package main
 
 import (
@@ -13,10 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"coma"
+	"coma/internal/fault/edges"
+	"coma/internal/obs"
 	"coma/internal/proto"
 )
 
@@ -31,12 +43,20 @@ func main() {
 		permPct = flag.Float64("perm", 0, "fraction of MTBF failures that are permanent (0..1)")
 		horizon = flag.Int64("horizon", 0, "failure-schedule horizon in cycles (default: probed run length)")
 	)
+	var (
+		edgeSuite = flag.Bool("edges", false, "run the protocol-edge scenario suite instead of a single machine")
+		traceDir  = flag.String("trace-dir", "", "with -edges: write one JSONL trace per scenario into this directory")
+	)
 	var fails []string
 	flag.Func("fail", "scripted failure, cycle:node[:perm]; repeatable", func(v string) error {
 		fails = append(fails, v)
 		return nil
 	})
 	flag.Parse()
+
+	if *edgeSuite {
+		os.Exit(runEdgeSuite(*traceDir))
+	}
 
 	app, ok := coma.AppByName(*appName)
 	if !ok {
@@ -122,6 +142,46 @@ func main() {
 	fmt.Printf("  reconfiguration injections:  %d\n", total.Injections[proto.InjectReconfigure])
 	fmt.Println("  value oracle:                every read matched the sequentially-consistent value")
 	fmt.Println("  invariants:                  recovery pairs complete at every commit and rollback")
+}
+
+// runEdgeSuite executes the staged edge scenarios, prints the coverage
+// report, and optionally persists each scenario's trace as JSONL.
+func runEdgeSuite(traceDir string) int {
+	rep, err := edges.RunSuite()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comafault: edge suite: %v\n", err)
+		return 1
+	}
+	rep.Write(os.Stdout)
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "comafault: %v\n", err)
+			return 1
+		}
+		for _, res := range rep.Results {
+			path := filepath.Join(traceDir, res.Scenario.Name+".jsonl")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "comafault: %v\n", err)
+				return 1
+			}
+			err = obs.WriteJSONL(f, res.Events)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "comafault: writing %s: %v\n", path, err)
+				return 1
+			}
+			fmt.Printf("  trace: %s (%d events)\n", path, len(res.Events))
+		}
+	}
+	if !rep.Full() {
+		fmt.Println("edge suite: INCOMPLETE coverage")
+		return 1
+	}
+	fmt.Println("edge suite: full specification coverage")
+	return 0
 }
 
 func parseFailure(v string) (coma.Failure, error) {

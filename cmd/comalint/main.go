@@ -11,6 +11,8 @@
 //	                 order-sensitive map iteration in the simulator core
 //	simblocking      simulated processes block only via internal/sim
 //	obswallclock     Observer implementations never read the wall clock
+//	statetransition  am.Slot state changes go through the AM setters (or
+//	                 ForEachAllocated scan callbacks) so the state hook fires
 //
 // Flags select a subset (-run exhaustivestate,determinism). Exit status
 // is 1 if any diagnostic is reported, 2 on operational errors.
@@ -42,6 +44,7 @@ var checkers = []checker{
 	{analyzers.Determinism, analyzers.DeterminismScope},
 	{analyzers.SimBlocking, analyzers.SimBlockingScope},
 	{analyzers.ObsWallClock, everywhere},
+	{analyzers.StateTransition, analyzers.StateTransitionScope},
 }
 
 func main() {

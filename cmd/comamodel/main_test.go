@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up to the go.mod of this module.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// copyModule clones the module's Go sources (no tests, no VCS) into a
+// temp dir so mutation tests can edit them freely.
+func copyModule(t *testing.T) string {
+	t.Helper()
+	root := repoRoot(t)
+	dst := t.TempDir()
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if info.Name() == ".git" || info.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if rel != "go.mod" && (!strings.HasSuffix(rel, ".go") || strings.HasSuffix(rel, "_test.go")) {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// mutate rewrites one source file, requiring the pattern to be present.
+func mutate(t *testing.T, dir, file, old, new string) {
+	t.Helper()
+	path := filepath.Join(dir, file)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), old) {
+		t.Fatalf("%s no longer contains %q; update the mutation test", file, old)
+	}
+	if err := os.WriteFile(path, []byte(strings.Replace(string(data), old, new, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runDiff(t *testing.T, dir string) (int, string) {
+	t.Helper()
+	var out bytes.Buffer
+	code := run([]string{"diff", "-C", dir}, &out, &out)
+	return code, out.String()
+}
+
+// runDiffRebuilt builds and runs the copy's own comamodel, so the spec
+// table compiled into the tool comes from the (possibly mutated) copy —
+// exactly what the CI gate does.
+func runDiffRebuilt(t *testing.T, dir string) (int, string) {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./cmd/comamodel", "diff", "-C", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("go run: %v\n%s", err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestDiffCleanOnPristine is the baseline for the mutation tests: an
+// unmodified tree is conformant.
+func TestDiffCleanOnPristine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and analyses the whole module")
+	}
+	dir := copyModule(t)
+	code, out := runDiff(t, dir)
+	if code != 0 {
+		t.Fatalf("pristine tree drifts (exit %d):\n%s", code, out)
+	}
+}
+
+// TestDiffDetectsSpecEdgeRemoval deletes one edge from
+// proto.ECPTransitions: extraction (the code still implements it) and
+// the model checker (it is still reachable) must both flag the drift.
+func TestDiffDetectsSpecEdgeRemoval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and analyses the whole module")
+	}
+	dir := copyModule(t)
+	mutate(t, dir, filepath.Join("internal", "proto", "proto.go"),
+		"{PreCommit1, Invalid, \"recovery scan aborts an uncommitted point\"},\n", "")
+	code, out := runDiffRebuilt(t, dir)
+	if code == 0 {
+		t.Fatalf("removing a spec edge went undetected:\n%s", out)
+	}
+	if !strings.Contains(out, "DRIFT") {
+		t.Errorf("expected a DRIFT diagnostic, got:\n%s", out)
+	}
+	if !strings.Contains(out, "PreCommit1") {
+		t.Errorf("diagnostic does not name the dropped edge:\n%s", out)
+	}
+}
+
+// TestDiffDetectsMissingEngineSite comments out the mesh create-phase
+// transition of Exclusive owners: the code-derived table then lacks
+// Exclusive -> PreCommit1 and extraction must flag it.
+func TestDiffDetectsMissingEngineSite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and analyses the whole module")
+	}
+	dir := copyModule(t)
+	mutate(t, dir, filepath.Join("internal", "coherence", "checkpoint.go"),
+		"case proto.Exclusive:\n\t\t\te.ams[n].SetState(item, proto.PreCommit1)\n",
+		"case proto.Exclusive:\n")
+	code, out := runDiff(t, dir)
+	if code == 0 {
+		t.Fatalf("removing an engine transition site went undetected:\n%s", out)
+	}
+	if !strings.Contains(out, "only in spec") {
+		t.Errorf("expected the missing edge to be reported as spec-only, got:\n%s", out)
+	}
+}
+
+// TestUsage pins the exit codes of bad invocations.
+func TestUsage(t *testing.T) {
+	if code := run(nil, io.Discard, io.Discard); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, io.Discard, io.Discard); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+	if code := run([]string{"extract", "-engine", "ring"}, io.Discard, io.Discard); code != 2 {
+		t.Errorf("unknown engine: exit %d, want 2", code)
+	}
+}
+
+// TestCheckSubcommand smoke-tests the model-checking entry point.
+func TestCheckSubcommand(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"check", "-items", "1", "-nodes", "4"}, &out, &out); code != 0 {
+		t.Fatalf("check failed (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "35/35 edges reachable") {
+		t.Errorf("expected full reachability, got:\n%s", out.String())
+	}
+}

@@ -87,10 +87,12 @@ func (e *Engine) ReadItem(p *sim.Process, n proto.NodeID, item proto.ItemID) uin
 		// Initialised-background memory: a read-only zero copy.
 		c.FillsCold++
 		src = obs.FillCold
+		//coma:transition Invalid -> Shared
 		e.ams[n].Set(item, am.Slot{State: proto.Shared, Value: 0, Partner: proto.None})
 	case proto.MsgDataReply:
 		c.FillsRemote++
 		value = m.Value
+		//coma:transition Invalid -> Shared
 		e.ams[n].Set(item, am.Slot{State: proto.Shared, Value: value, Partner: proto.None})
 	default:
 		panic(fmt.Sprintf("coherence: read reply %v", m))
@@ -131,6 +133,9 @@ func (e *Engine) WriteItem(p *sim.Process, n proto.NodeID, item proto.ItemID, va
 
 	if e.ams[n].State(item) == proto.Exclusive { // granted while queued
 		e.useController(p, n, e.arch.AMAccess)
+		// Not derivable statically: the first Exclusive test failed, but
+		// the state changed while this writer queued on the item lock.
+		//coma:transition Exclusive -> Exclusive
 		e.ams[n].Set(item, am.Slot{State: proto.Exclusive, Value: value, Partner: proto.None})
 		if e.obs != nil {
 			e.obs.Emit(obs.Event{Time: p.Now(), Kind: obs.KWriteFill, Node: n, Item: item,

@@ -244,6 +244,7 @@ func (e *Engine) ReconfigureNode(p *sim.Process, n proto.NodeID, dead func(proto
 	for _, w := range todo {
 		e.lockItem(p, w.item)
 		if w.promote {
+			//coma:transition SharedCK2 -> SharedCK1
 			e.ams[n].SetState(w.item, proto.SharedCK1)
 			entry := e.dir.Ensure(w.item)
 			entry.Owner = n

@@ -232,6 +232,9 @@ func (e *Engine) tryAcceptInjection(p *sim.Process, n proto.NodeID, m mesh.Messa
 			partner = e.ams[m.Requester].Slot(item).Partner // a moving copy keeps its partner
 		}
 	}
+	// The victim slot passed the Replaceable test (or sits in a fresh
+	// frame); the incoming state is whatever a mover or creator sends.
+	//coma:transition Invalid|Shared -> Exclusive|MasterShared|SharedCK1|SharedCK2|InvCK1|InvCK2|PreCommit2
 	amn.Set(item, am.Slot{State: m.State, Value: m.Value, Partner: partner})
 	return true
 }

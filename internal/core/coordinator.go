@@ -106,6 +106,10 @@ type Coordinator struct {
 
 	quiesce, phase1, phase2    *counter
 	gateStart, gateMid, gateUp *sim.Gate
+	// gateMid2 is the mid-phase gate of a recovery that replaced an
+	// establishment at the commit boundary: gateMid has already been
+	// consumed releasing the participants into the abort path.
+	gateMid2 *sim.Gate
 
 	pendingFailures []Failure
 	failedThisRound []bool
@@ -288,6 +292,24 @@ func (co *Coordinator) participateRound(p *sim.Process, ops NodeOps) {
 		co.coh.CreatePhase(p, n)
 		phase1.arrive(co.eng)
 		gateMid.Wait(p)
+		if co.mode == roundRecovery {
+			// A failure during the create phase aborted the establishment
+			// at the commit boundary: the round continues as a recovery.
+			// The coordinator recreated the phase counters (survivors may
+			// have shrunk) before opening gateMid, so re-read them.
+			if co.deadPerm[n] {
+				co.lastDone[n] = round
+				return
+			}
+			phase1, phase2 = co.phase1, co.phase2
+			co.coh.RecoveryScan(p, n)
+			ops.ClearCache()
+			phase1.arrive(co.eng)
+			co.gateMid2.Wait(p)
+			co.coh.ReconfigureNode(p, n, co.lostMemory)
+			phase2.arrive(co.eng)
+			break
+		}
 		co.coh.CommitScan(p, n)
 		phase2.arrive(co.eng)
 	case roundRecovery:
@@ -444,6 +466,18 @@ func (co *Coordinator) runCheckpoint(p *sim.Process) {
 
 	tCommit := p.Now()
 	co.ck.CreateCycles += tCommit - tCreate
+
+	// A failure during the create phase aborts at the commit boundary:
+	// the pre-commit pairs are discarded by a recovery scan (the paper's
+	// PreCommit -> Invalid edges) and the previous recovery point keeps
+	// protecting the machine. Failures arriving once the commit scans
+	// have started stay pending until after the round: the establishment
+	// is atomic from this point on.
+	if len(co.pendingFailures) > 0 {
+		co.abortAtCommitBoundary(p)
+		return
+	}
+
 	co.gateMid.Open(co.eng)
 	co.phase2.fut.Await(p)
 	co.ck.CommitCycles += p.Now() - tCommit
@@ -493,11 +527,10 @@ func (co *Coordinator) runRecovery(p *sim.Process) {
 	co.finishRecovery(p)
 }
 
-// finishRecovery runs from the point where every participant is parked at
-// gateStart: it applies the failures, drives the scan and reconfiguration
-// phases, and resumes the machine.
-func (co *Coordinator) finishRecovery(p *sim.Process) {
-	co.mode = roundRecovery
+// applyPendingFailures consumes the pending failure list: it marks the
+// round's failed-memory set, emits the fault events, clears the failed
+// AMs (fail-silent) and removes permanently dead nodes from membership.
+func (co *Coordinator) applyPendingFailures(p *sim.Process) []Failure {
 	failures := co.pendingFailures
 	co.pendingFailures = nil
 
@@ -530,12 +563,50 @@ func (co *Coordinator) finishRecovery(p *sim.Process) {
 			co.coh.Directory().SetAlive(n, false)
 		}
 	}
+	return failures
+}
+
+// finishRecovery runs from the point where every participant is parked at
+// gateStart: it applies the failures, drives the scan and reconfiguration
+// phases, and resumes the machine.
+func (co *Coordinator) finishRecovery(p *sim.Process) {
+	co.mode = roundRecovery
+	failures := co.applyPendingFailures(p)
 
 	survivors := co.participants()
 	co.phase1 = newCounter(co.eng, survivors)
 	co.phase2 = newCounter(co.eng, survivors)
 
 	co.gateStart.Open(co.eng)
+	co.recoveryTail(p, failures, co.gateMid)
+}
+
+// abortAtCommitBoundary converts an establishment whose create phase has
+// completed — but whose commit has not begun — into a recovery round: a
+// failure arrived while the pre-commit pairs were being created, so they
+// are discarded by the recovery scans (the PreCommit -> Invalid edges)
+// and the previous recovery point is restored. Participants are parked
+// at gateMid; the counters must be recreated (the failure may have been
+// permanent) before that gate releases them into the recovery path.
+func (co *Coordinator) abortAtCommitBoundary(p *sim.Process) {
+	co.ck.Aborted++
+	co.mode = roundRecovery
+	failures := co.applyPendingFailures(p)
+
+	survivors := co.participants()
+	co.phase1 = newCounter(co.eng, survivors)
+	co.phase2 = newCounter(co.eng, survivors)
+	co.gateMid2 = sim.NewGate()
+
+	co.gateMid.Open(co.eng)
+	co.recoveryTail(p, failures, co.gateMid2)
+}
+
+// recoveryTail drives a recovery round from the instant the participants
+// start their recovery scans. midGate separates the scan phase from the
+// reconfiguration phase (gateMid normally; gateMid2 when an aborted
+// establishment already consumed gateMid).
+func (co *Coordinator) recoveryTail(p *sim.Process, failures []Failure, midGate *sim.Gate) {
 	co.phase1.fut.Await(p) // all scans done, caches cleared
 
 	dropped := co.coh.RebuildDirectory()
@@ -550,7 +621,7 @@ func (co *Coordinator) finishRecovery(p *sim.Process) {
 	}
 	co.coh.RemapAnchors(p, co.isDead)
 
-	co.gateMid.Open(co.eng)
+	midGate.Open(co.eng)
 	co.phase2.fut.Await(p) // reconfiguration done: persistence restored
 
 	if co.hooks.OnRollback != nil {

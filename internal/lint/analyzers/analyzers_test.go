@@ -23,6 +23,10 @@ func TestObsWallClock(t *testing.T) {
 	analysistest.Run(t, analyzers.ObsWallClock, "testdata/src/obsimpl")
 }
 
+func TestStateTransition(t *testing.T) {
+	analysistest.Run(t, analyzers.StateTransition, "testdata/src/statetransition")
+}
+
 // TestSimBlockingFlagsRunnerShapedCode proves the ConcurrencyAllowlist
 // is an explicit exception, not an analyzer hole: the runnerlike fixture
 // reproduces internal/experiments/runner's constructs in an
@@ -87,6 +91,25 @@ func TestSimBlockingScope(t *testing.T) {
 	} {
 		if got := analyzers.SimBlockingScope(path); got != want {
 			t.Errorf("SimBlockingScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestStateTransitionScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"coma/internal/coherence": true,
+		"coma/internal/snoop":     true,
+		"coma/internal/core":      true,
+		"coma/internal/machine":   true,
+		"coma/internal/node":      true,
+		"coma/internal/mesh":      true,
+		"coma/internal/am":        false, // implements the setters and the hook
+		"coma/internal/fault":     false, // drives machines, never touches slots
+		"coma/internal/proto":     false,
+		"coma/cmd/comasim":        false,
+	} {
+		if got := analyzers.StateTransitionScope(path); got != want {
+			t.Errorf("StateTransitionScope(%q) = %v, want %v", path, got, want)
 		}
 	}
 }

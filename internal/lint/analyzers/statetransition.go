@@ -1,0 +1,143 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"coma/internal/lint/analysis"
+)
+
+// StateTransition reports engine code that writes an am.Slot's State or
+// Partner field directly instead of going through the AM's setters.
+// Direct field writes bypass the state-transition hook that feeds the
+// observability layer (KState events) and the frame's modified-slot
+// accounting, so a transition made that way is invisible to traces, to
+// txnview coverage, and to comamodel's runtime leg. The one sanctioned
+// exception is a scan callback passed to AM.ForEachAllocated: the
+// commit/recovery scans mutate slots wholesale by design, and the trace
+// replayer synthesises their transitions from the surrounding phase
+// events instead of per-slot hooks.
+var StateTransition = &analysis.Analyzer{
+	Name: "statetransition",
+	Doc: "am.Slot state changes outside ForEachAllocated scans must use " +
+		"AM.Set/SetState/SetPartner so the state hook fires",
+	Run: runStateTransition,
+}
+
+// StateTransitionScope reports whether the analyzer applies to a
+// package: the protocol engines and the layers that drive them — every
+// place an AM slot is mutated on behalf of the protocol. internal/am
+// itself is exempt (it implements the setters and the hook), and so is
+// everything outside the engines (nothing else holds an AM).
+func StateTransitionScope(pkgPath string) bool {
+	for _, suffix := range []string{
+		"internal/coherence", "internal/snoop", "internal/core",
+		"internal/machine", "internal/node", "internal/mesh",
+	} {
+		if strings.HasSuffix(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runStateTransition(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		// First pass: collect the function literals handed to
+		// ForEachAllocated; slot writes inside them are the scans'
+		// sanctioned bulk mutations.
+		scanCallbacks := make(map[*ast.FuncLit]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "ForEachAllocated" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					scanCallbacks[fl] = true
+				}
+			}
+			return true
+		})
+
+		// Second pass: flag slot-field assignments outside those
+		// callbacks. The stack tracks enclosing nodes so an assignment
+		// knows whether any ancestor is a sanctioned callback.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				field, ok := slotFieldWrite(pass, lhs)
+				if !ok {
+					continue
+				}
+				if underScanCallback(stack, scanCallbacks) {
+					continue
+				}
+				pass.Reportf(lhs.Pos(),
+					"direct write to am.Slot.%s bypasses the state hook "+
+						"(no KState event, no modified-frame accounting): "+
+						"use AM.Set/SetState/SetPartner or a ForEachAllocated scan callback",
+					field)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// slotFieldWrite reports whether expr is a State or Partner selector
+// written through a *am.Slot (aliases like the engines' slotRef
+// included). Writes through a pointer reach the AM's backing store;
+// field writes on a value copy are harmless — the copy only takes
+// effect through AM.Set, which fires the hook itself.
+func slotFieldWrite(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "State" && sel.Sel.Name != "Partner" {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	ptr, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Name() != "Slot" ||
+		!strings.HasSuffix(named.Obj().Pkg().Path(), "internal/am") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// underScanCallback reports whether any node on the stack is a function
+// literal registered as a ForEachAllocated callback.
+func underScanCallback(stack []ast.Node, callbacks map[*ast.FuncLit]bool) bool {
+	for _, n := range stack {
+		if fl, ok := n.(*ast.FuncLit); ok && callbacks[fl] {
+			return true
+		}
+	}
+	return false
+}

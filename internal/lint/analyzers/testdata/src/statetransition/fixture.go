@@ -1,0 +1,75 @@
+// Fixture for the statetransition analyzer: State/Partner writes
+// through a *am.Slot are sanctioned only inside function literals passed
+// to AM.ForEachAllocated (the commit/recovery scans); anywhere else they
+// bypass the state hook and must go through the AM's setters. Field
+// writes on value copies are fine — a copy only takes effect through
+// AM.Set, which fires the hook itself.
+package fixture
+
+import (
+	"coma/internal/am"
+	"coma/internal/proto"
+)
+
+// commitScan is the sanctioned shape: bulk mutation inside a
+// ForEachAllocated callback. Silent.
+func commitScan(a *am.AM) {
+	a.ForEachAllocated(func(item proto.ItemID, s *am.Slot) {
+		switch s.State {
+		case proto.PreCommit1:
+			s.State = proto.SharedCK1
+		case proto.InvCK1, proto.InvCK2:
+			s.State = proto.Invalid
+			s.Partner = proto.None
+		}
+	})
+}
+
+// demote writes through a slot pointer outside any scan: both flagged.
+func demote(s *am.Slot) {
+	s.State = proto.Invalid // want `direct write to am\.Slot\.State bypasses the state hook`
+	s.Partner = proto.None  // want `direct write to am\.Slot\.Partner bypasses the state hook`
+}
+
+// stash leaks the callback's pointer and mutates it after the scan; the
+// write site is outside the callback, so it is flagged.
+func stash(a *am.AM, item proto.ItemID) {
+	var leaked *am.Slot
+	a.ForEachAllocated(func(it proto.ItemID, s *am.Slot) {
+		if it == item {
+			leaked = s
+		}
+	})
+	leaked.State = proto.Exclusive // want `direct write to am\.Slot\.State bypasses the state hook`
+}
+
+// slotRef mirrors the engines' alias; the alias does not hide the type.
+type slotRef = am.Slot
+
+func aliasWrite(s *slotRef) {
+	s.State = proto.Shared // want `direct write to am\.Slot\.State bypasses the state hook`
+}
+
+// copyModify mutates a value copy and installs it through Set: silent.
+func copyModify(a *am.AM, item proto.ItemID) {
+	sl := a.Slot(item)
+	sl.State = proto.Exclusive
+	a.Set(item, sl)
+}
+
+// widget has its own State field; unrelated types are out of scope.
+type widget struct {
+	State   proto.State
+	Partner proto.NodeID
+}
+
+func unrelated(w *widget) {
+	w.State = proto.Invalid
+	w.Partner = proto.None
+}
+
+// setters: the sanctioned mutation path outside scans. Silent.
+func setters(a *am.AM, item proto.ItemID) {
+	a.SetState(item, proto.MasterShared)
+	a.SetPartner(item, proto.NodeID(1))
+}

@@ -1,0 +1,93 @@
+package model
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestExtractMatchesSpec is the conformance golden: both engines'
+// code-derived transition tables must equal proto.ECPTransitions exactly.
+func TestExtractMatchesSpec(t *testing.T) {
+	root := moduleRoot(t)
+	spec := SpecTable()
+	if spec.Len() != 35 {
+		t.Fatalf("spec has %d edges, want 35", spec.Len())
+	}
+	for _, engine := range []string{EngineMesh, EngineBus} {
+		res, err := Extract(root, engine)
+		if err != nil {
+			t.Fatalf("Extract(%s): %v", engine, err)
+		}
+		for _, e := range res.Errors {
+			t.Errorf("%s: audit error: %s", engine, e)
+		}
+		d := Diff(spec, res.Table)
+		if !d.Clean() {
+			var sb strings.Builder
+			d.Write(&sb, spec, res.Table)
+			t.Errorf("%s table drifts from spec:\n%s", engine, sb.String())
+		}
+		if len(res.Sites) == 0 {
+			t.Errorf("%s: extractor found no mutation sites", engine)
+		}
+	}
+}
+
+// TestExtractSiteResolution spot-checks that guard narrowing (not just
+// annotations) carries real weight: each engine must resolve most of its
+// sites statically.
+func TestExtractSiteResolution(t *testing.T) {
+	root := moduleRoot(t)
+	for _, engine := range []string{EngineMesh, EngineBus} {
+		res, err := Extract(root, engine)
+		if err != nil {
+			t.Fatalf("Extract(%s): %v", engine, err)
+		}
+		annotated := 0
+		for _, s := range res.Sites {
+			if s.Annotated {
+				annotated++
+			}
+		}
+		static := len(res.Sites) - annotated
+		if static < annotated {
+			t.Errorf("%s: %d statically resolved vs %d annotated sites — the dataflow pass is not pulling its weight",
+				engine, static, annotated)
+		}
+		t.Logf("%s: %d sites (%d static, %d annotated)", engine, len(res.Sites), static, annotated)
+	}
+}
+
+// TestAuditAM pins that every slot-state write in internal/am flows
+// through the audited helpers.
+func TestAuditAM(t *testing.T) {
+	root := moduleRoot(t)
+	bad, err := AuditAM(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range bad {
+		t.Errorf("unaudited slot write: %s", v)
+	}
+}

@@ -93,6 +93,7 @@ func (m *Machine) createNode(p *sim.Process, n proto.NodeID) {
 		}
 		if !reused {
 			slot := m.ams[n].Slot(item)
+			//coma:transition Exclusive|MasterShared -> PreCommit1
 			m.ams[n].SetState(item, proto.PreCommit1)
 			target := m.placeCopy(p, n, item, proto.PreCommit2, slot.Value, n)
 			m.ams[n].SetPartner(item, target)
@@ -190,6 +191,7 @@ func (m *Machine) recover(p *sim.Process, f proto.NodeID) {
 			m.bus.Acquire(p)
 			p.Wait(m.cfg.AddrPhase)
 			if w.promote {
+				//coma:transition SharedCK2 -> SharedCK1
 				m.ams[n].SetState(w.item, proto.SharedCK1)
 			}
 			slot := m.ams[n].Slot(w.item)

@@ -1,0 +1,84 @@
+package snoop
+
+import (
+	"fmt"
+	"testing"
+
+	"coma/internal/config"
+	"coma/internal/proto"
+	"coma/internal/workload"
+)
+
+// TestReadGuardInjectsOnlyInvCK pins the Table 1 read rule the static
+// extraction surfaced as drifting when it was written as st.Recovery():
+// a read that finds a local Shared-CK copy is served from it (Shared-CK
+// copies are readable — no injection), while a read that misses on a
+// local Inv-CK copy must first inject the recovery copy away. The
+// broader Recovery() guard would also have claimed injection edges from
+// the Shared-CK and pre-commit states that the specification table does
+// not contain.
+func TestReadGuardInjectsOnlyInvCK(t *testing.T) {
+	arch := config.KSR1(4)
+	X := uint64(0)
+	settle := func() []workload.Ref {
+		out := make([]workload.Ref, 60)
+		for i := range out {
+			out[i] = workload.I(1_000)
+		}
+		return out
+	}
+
+	// Phase rows separated by barriers; one column per node.
+	phases := [][][]workload.Ref{
+		{{workload.W(X)}},                        // Exclusive at n0
+		{settle(), settle(), settle(), settle()}, // establishment: SCK1@0 + SCK2 pair
+		{{workload.R(X)}},                        // local Shared-CK read: served, no injection
+		{nil, nil, {workload.W(X)}},              // pair demoted to Inv-CK; Exclusive at n2
+		{{workload.R(X)}},                        // local Inv-CK read: inject, then miss
+		{settle(), settle(), settle(), settle()},
+	}
+	gens := make([]workload.Generator, 4)
+	for n := range gens {
+		var refs []workload.Ref
+		for _, ph := range phases {
+			cell := []workload.Ref{workload.I(100)}
+			if n < len(ph) && ph[n] != nil {
+				cell = ph[n]
+			}
+			refs = append(refs, cell...)
+			refs = append(refs, workload.B())
+		}
+		gens[n] = workload.NewScript(fmt.Sprintf("guard-n%d", n), refs)
+	}
+
+	m, err := New(Config{
+		Arch:               arch,
+		FaultTolerant:      true,
+		Generators:         gens,
+		CheckpointInterval: 50_000,
+		Oracle:             true,
+		MaxCycles:          2_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ckpt.Established == 0 {
+		t.Fatal("no recovery point committed; the scenario never formed a pair")
+	}
+	n0 := r.PerNode[0]
+	if n0.SharedCKReads == 0 {
+		t.Error("the local Shared-CK read was not served from the recovery copy")
+	}
+	if got := n0.Injections[proto.InjectReadInvCK]; got != 1 {
+		t.Errorf("node 0 performed %d read-triggered injections, want exactly 1 (the Inv-CK read)", got)
+	}
+	for i := 1; i < 4; i++ {
+		if got := r.PerNode[i].Injections[proto.InjectReadInvCK]; got != 0 {
+			t.Errorf("node %d performed %d read-triggered injections, want 0", i, got)
+		}
+	}
+}

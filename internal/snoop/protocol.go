@@ -39,7 +39,12 @@ func (m *Machine) read(p *sim.Process, n proto.NodeID, item proto.ItemID) {
 	p.Wait(m.cfg.AddrPhase)
 	m.busCycles += m.cfg.AddrPhase
 
-	if st := m.ams[n].State(item); st.Recovery() {
+	// Table 1: only a local Inv-CK copy is injected away by a read miss.
+	// (Shared-CK copies are readable and never miss; pre-commit copies
+	// cannot be snooped while the bus is quiesced. The guard is written
+	// out explicitly rather than as st.Recovery(), which is broader than
+	// the paper allows.)
+	if st := m.ams[n].State(item); st == proto.InvCK1 || st == proto.InvCK2 {
 		m.inject(p, n, item, proto.InjectReadInvCK, txn)
 	}
 	m.ensureFrame(p, n, item, txn)
@@ -49,8 +54,10 @@ func (m *Machine) read(p *sim.Process, n proto.NodeID, item proto.ItemID) {
 		// write (which needs no bus) could otherwise slip between the
 		// snoop and a later mutation. The data phase is pure timing.
 		if slot.State == proto.Exclusive {
+			//coma:transition Exclusive -> MasterShared
 			m.ams[supplier].SetState(item, proto.MasterShared)
 		}
+		//coma:transition Invalid -> Shared
 		m.ams[n].Set(item, am.Slot{State: proto.Shared, Value: slot.Value, Partner: proto.None})
 		c.FillsRemote++
 		m.verify(n, item, slot.Value)
@@ -65,6 +72,7 @@ func (m *Machine) read(p *sim.Process, n proto.NodeID, item proto.ItemID) {
 		return
 	}
 	// Never written anywhere: initialised-background zero copy.
+	//coma:transition Invalid -> Shared
 	m.ams[n].Set(item, am.Slot{State: proto.Shared, Value: 0, Partner: proto.None})
 	c.FillsCold++
 	m.verify(n, item, 0)
@@ -144,8 +152,9 @@ func (m *Machine) write(p *sim.Process, n proto.NodeID, item proto.ItemID, value
 				item, m.ams[t].State(item), t))
 		}
 	}
-	// The local slot was freed above (Shared handled by the snoop, CK
-	// copies injected earlier); install the exclusive copy now.
+	// The local slot was freed above (CK copies injected earlier; a local
+	// Shared or Master-Shared copy is simply overwritten by the upgrade).
+	//coma:transition Invalid|Shared|MasterShared -> Exclusive
 	m.ams[n].Set(item, am.Slot{State: proto.Exclusive, Value: value, Partner: proto.None})
 	m.record(item, value)
 	if supplied {
@@ -307,7 +316,10 @@ func (m *Machine) placeCopy(p *sim.Process, n proto.NodeID, item proto.ItemID,
 		default:
 			continue
 		}
-		// Install at the decision instant; the transfer is timing.
+		// Install at the decision instant; the transfer is timing. The
+		// victim slot passed the Replaceable test (or is a fresh frame);
+		// the incoming state is whatever a mover or creator hands us.
+		//coma:transition Invalid|Shared -> Exclusive|MasterShared|SharedCK1|SharedCK2|InvCK1|InvCK2|PreCommit2
 		amt.Set(item, am.Slot{State: st, Value: value, Partner: partner})
 		p.Wait(m.cfg.DataPhase)
 		m.busCycles += m.cfg.DataPhase
