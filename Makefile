@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint comalint staticcheck bench bench-json smoke-serve model check
+.PHONY: all build test race vet lint comalint staticcheck bench bench-json bench-compare smoke-serve model check
 
 all: check
 
@@ -45,6 +45,15 @@ bench:
 bench-json:
 	$(GO) run ./cmd/comabench -params bench -json BENCH_results.json >/dev/null
 	@cat BENCH_results.json
+
+# bench-compare reruns the quick campaign and diffs its perf record
+# against the committed baseline: per-table wall time and total
+# events/sec deltas, exiting non-zero on a >10% events/sec regression.
+# CI runs the same comparison report-only (threshold -1).
+BENCH_BASELINE ?= BENCH_2026-08-08.json
+bench-compare:
+	$(GO) run ./cmd/comabench -params quick -json /tmp/bench-compare.json >/dev/null
+	$(GO) run ./cmd/comabench -compare $(BENCH_BASELINE) /tmp/bench-compare.json
 
 # smoke-serve boots a comad daemon, submits the same tiny job twice,
 # and asserts the serving contract: cache hit, byte-identical result

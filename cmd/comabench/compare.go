@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchRecord is the committed BENCH_*.json wrapper: one or more named
+// campaign records plus provenance (schema coma-bench-record/v1). The
+// compare subcommand accepts either this wrapper or a raw campaign
+// record as written by -json.
+type benchRecord struct {
+	Schema    string                     `json:"schema"`
+	Campaigns map[string]json.RawMessage `json:"campaigns"`
+}
+
+// loadCampaign reads path as either a raw coma-bench-campaign record or
+// a coma-bench-record wrapper. For a wrapper, campaign selects the named
+// entry; empty means the preferred serial quick campaign if present,
+// else the first name in sorted order.
+func loadCampaign(path, campaign string) (perfRecord, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return perfRecord{}, "", err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return perfRecord{}, "", fmt.Errorf("%s: %v", path, err)
+	}
+	if probe.Schema == "" || probe.Schema[:len("coma-bench-record")] != "coma-bench-record" {
+		var p perfRecord
+		if err := json.Unmarshal(data, &p); err != nil {
+			return perfRecord{}, "", fmt.Errorf("%s: %v", path, err)
+		}
+		return p, "", nil
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return perfRecord{}, "", fmt.Errorf("%s: %v", path, err)
+	}
+	name := campaign
+	if name == "" {
+		if _, ok := rec.Campaigns["quick_serial_workers1"]; ok {
+			name = "quick_serial_workers1"
+		} else {
+			names := make([]string, 0, len(rec.Campaigns))
+			for n := range rec.Campaigns {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			if len(names) == 0 {
+				return perfRecord{}, "", fmt.Errorf("%s: no campaigns in record", path)
+			}
+			name = names[0]
+		}
+	}
+	raw, ok := rec.Campaigns[name]
+	if !ok {
+		return perfRecord{}, "", fmt.Errorf("%s: no campaign %q in record", path, name)
+	}
+	var p perfRecord
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return perfRecord{}, "", fmt.Errorf("%s: campaign %q: %v", path, name, err)
+	}
+	return p, name, nil
+}
+
+// runCompare diffs two campaign perf records: per-table wall-time deltas
+// and the totals (wall, events/s). Exit status 1 if new is slower than
+// old by more than threshold percent on campaign events/s (threshold < 0
+// means report-only), 2 on usage or read errors.
+func runCompare(oldPath, newPath, campaign string, threshold float64) int {
+	oldRec, oldName, err := loadCampaign(oldPath, campaign)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
+		return 2
+	}
+	newRec, newName, err := loadCampaign(newPath, campaign)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comabench: %v\n", err)
+		return 2
+	}
+	label := func(path, name string) string {
+		if name == "" {
+			return path
+		}
+		return path + "#" + name
+	}
+	fmt.Printf("comabench compare\n  old: %s (%s, workers=%d)\n  new: %s (%s, workers=%d)\n",
+		label(oldPath, oldName), oldRec.Params, oldRec.Workers,
+		label(newPath, newName), newRec.Params, newRec.Workers)
+	if oldRec.Params != newRec.Params || oldRec.Workers != newRec.Workers {
+		fmt.Println("  warning: campaign params/workers differ; deltas are not like-for-like")
+	}
+
+	oldTables := map[string]tablePerf{}
+	for _, t := range oldRec.Tables {
+		oldTables[t.ID] = t
+	}
+	fmt.Printf("\n  %-10s %12s %12s %9s\n", "table", "old wall ms", "new wall ms", "delta")
+	for _, nt := range newRec.Tables {
+		ot, ok := oldTables[nt.ID]
+		if !ok {
+			fmt.Printf("  %-10s %12s %12.1f %9s\n", nt.ID, "-", nt.WallMS, "new")
+			continue
+		}
+		fmt.Printf("  %-10s %12.1f %12.1f %+8.1f%%\n", nt.ID, ot.WallMS, nt.WallMS, pctDelta(ot.WallMS, nt.WallMS))
+		delete(oldTables, nt.ID)
+	}
+	stale := make([]string, 0, len(oldTables))
+	for id := range oldTables {
+		stale = append(stale, id)
+	}
+	sort.Strings(stale)
+	for _, id := range stale {
+		fmt.Printf("  %-10s %12.1f %12s %9s\n", id, oldTables[id].WallMS, "-", "gone")
+	}
+
+	fmt.Printf("\n  %-14s %14s %14s %9s\n", "totals", "old", "new", "delta")
+	fmt.Printf("  %-14s %14.1f %14.1f %+8.1f%%\n", "wall ms",
+		oldRec.Totals.WallMS, newRec.Totals.WallMS, pctDelta(oldRec.Totals.WallMS, newRec.Totals.WallMS))
+	fmt.Printf("  %-14s %14d %14d\n", "sim cycles", oldRec.Totals.SimCycles, newRec.Totals.SimCycles)
+	fmt.Printf("  %-14s %14d %14d\n", "events", oldRec.Totals.Events, newRec.Totals.Events)
+	epsDelta := pctDelta(oldRec.Totals.EventsPerSec, newRec.Totals.EventsPerSec)
+	fmt.Printf("  %-14s %14.0f %14.0f %+8.1f%%\n", "events/sec",
+		oldRec.Totals.EventsPerSec, newRec.Totals.EventsPerSec, epsDelta)
+
+	if threshold >= 0 && epsDelta < -threshold {
+		fmt.Fprintf(os.Stderr, "comabench: events/sec regressed %.1f%% (threshold %.1f%%)\n",
+			-epsDelta, threshold)
+		return 1
+	}
+	return 0
+}
+
+// pctDelta returns the percent change from old to new (positive = new is
+// larger). A zero old value yields 0 to keep degenerate records printable.
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}

@@ -14,6 +14,7 @@
 //	comabench -workers 1           # strictly serial execution
 //	comabench -json bench.json     # machine-readable perf record
 //	comabench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	comabench -compare old.json new.json   # perf-record diff (exit 1 on regression)
 //
 // With -remote, every simulation executes on a comad daemon (README
 // §Serving) instead of in-process; the campaign's own scheduling,
@@ -59,8 +60,20 @@ func run() int {
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		verbose    = flag.Bool("v", false, "print one line per simulation run")
+		compare    = flag.Bool("compare", false, "compare two bench records: comabench -compare old.json new.json")
+		campaign   = flag.String("campaign", "", "campaign name inside a coma-bench-record file (default: quick_serial_workers1, else first)")
+		threshold  = flag.Float64("threshold", 10, "events/sec regression percent that fails -compare (negative: report-only)")
 	)
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: comabench -compare [-campaign name] [-threshold pct] old.json new.json")
+			return 2
+		}
+		return runCompare(args[0], args[1], *campaign, *threshold)
+	}
 
 	var p coma.ExperimentParams
 	switch *params {

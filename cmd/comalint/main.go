@@ -10,6 +10,8 @@
 //	determinism      no wall-clock time, no global math/rand, no
 //	                 order-sensitive map iteration in the simulator core
 //	simblocking      simulated processes block only via internal/sim
+//	closuresched     hot-path packages schedule typed events, not
+//	                 per-event Engine.At/After closure literals
 //	obswallclock     Observer implementations never read the wall clock
 //	statetransition  am.Slot state changes go through the AM setters (or
 //	                 ForEachAllocated scan callbacks) so the state hook fires
@@ -43,6 +45,7 @@ var checkers = []checker{
 	{analyzers.ExhaustiveState, everywhere},
 	{analyzers.Determinism, analyzers.DeterminismScope},
 	{analyzers.SimBlocking, analyzers.SimBlockingScope},
+	{analyzers.ClosureSched, analyzers.ClosureSchedScope},
 	{analyzers.ObsWallClock, everywhere},
 	{analyzers.StateTransition, analyzers.StateTransitionScope},
 }

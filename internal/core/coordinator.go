@@ -116,6 +116,14 @@ type Coordinator struct {
 	wake            *sim.Future[struct{}]
 	lastCkpt        int64
 
+	// Typed-event bookkeeping (the coordinator is a sim.EventSink, so
+	// its timers never allocate per-event closures): armed holds
+	// scheduled failures, addressed by the event arg; sleepGen numbers
+	// sleepUntil timers so a stale round-due event (negative arg) from a
+	// superseded sleep is ignored.
+	armed    []Failure
+	sleepGen int64
+
 	// Application-level barrier (workload Barrier references).
 	abRound   int64
 	abArrived int
@@ -179,12 +187,24 @@ func (co *Coordinator) Start() {
 // and runs rollback + reconfiguration (detection at the next phase
 // boundary; see DESIGN.md).
 func (co *Coordinator) ScheduleFailure(t int64, f Failure) {
-	co.eng.At(t, func() {
-		co.pendingFailures = append(co.pendingFailures, f)
+	co.armed = append(co.armed, f)
+	co.eng.AtSink(t, co, int64(len(co.armed)-1))
+}
+
+// OnEvent implements sim.EventSink for the coordinator's two timer
+// kinds: a non-negative arg indexes an armed failure to inject now; a
+// negative arg is a sleepUntil round-due timer carrying its generation.
+func (co *Coordinator) OnEvent(_ *sim.Engine, arg int64) {
+	if arg >= 0 {
+		co.pendingFailures = append(co.pendingFailures, co.armed[arg])
 		if co.wake != nil && !co.wake.Done() {
 			co.wake.Complete(co.eng, struct{}{})
 		}
-	})
+		return
+	}
+	if -arg == co.sleepGen && co.wake != nil && !co.wake.Done() {
+		co.wake.Complete(co.eng, struct{}{})
+	}
 }
 
 // ProcessorFinished records that a node's workload ended. The node's
@@ -370,11 +390,8 @@ func (co *Coordinator) sleepUntil(p *sim.Process, due int64) {
 	fut := sim.NewFuture[struct{}]()
 	co.wake = fut
 	if due >= 0 {
-		co.eng.At(due, func() {
-			if !fut.Done() {
-				fut.Complete(co.eng, struct{}{})
-			}
-		})
+		co.sleepGen++
+		co.eng.AtSink(due, co, -co.sleepGen)
 	}
 	fut.Await(p)
 	co.wake = nil

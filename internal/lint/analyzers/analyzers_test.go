@@ -19,6 +19,14 @@ func TestSimBlocking(t *testing.T) {
 	analysistest.Run(t, analyzers.SimBlocking, "testdata/src/simblocking")
 }
 
+// TestClosureSched proves the typed-event rule bites where it matters:
+// the fixture reproduces internal/mesh's delivery scheduling, and the
+// closure-literal form is diagnosed while the AtSink/AfterSink typed
+// form and a one-time named ticker closure stay silent.
+func TestClosureSched(t *testing.T) {
+	analysistest.Run(t, analyzers.ClosureSched, "testdata/src/closuresched")
+}
+
 func TestObsWallClock(t *testing.T) {
 	analysistest.Run(t, analyzers.ObsWallClock, "testdata/src/obsimpl")
 }
@@ -65,7 +73,8 @@ func TestDeterminismScope(t *testing.T) {
 		"coma/internal/server":             false, // ConcurrencyAllowlist
 		"coma/internal/server/client":      false, // ConcurrencyAllowlist
 		"coma/internal/server/future":      true,  // subtree default: checked
-		"coma/internal/machine":            false,
+		"coma/internal/mesh":               true,  // slab indices feed dispatch order
+		"coma/internal/machine":            true,  // assembles and seeds the engine
 		"coma/internal/proto":              false,
 		"coma/cmd/comasim":                 false,
 	} {
@@ -91,6 +100,26 @@ func TestSimBlockingScope(t *testing.T) {
 	} {
 		if got := analyzers.SimBlockingScope(path); got != want {
 			t.Errorf("SimBlockingScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestClosureSchedScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"coma/internal/mesh":               true,
+		"coma/internal/coherence":          true,
+		"coma/internal/core":               true,
+		"coma/internal/machine":            true,
+		"coma/internal/node":               true,
+		"coma/internal/snoop":              true,
+		"coma/internal/sim":                false, // implements both scheduling paths
+		"coma/internal/experiments":        false, // no engine scheduling
+		"coma/internal/experiments/runner": false,
+		"coma/internal/obs":                false,
+		"coma/cmd/comasim":                 false,
+	} {
+		if got := analyzers.ClosureSchedScope(path); got != want {
+			t.Errorf("ClosureSchedScope(%q) = %v, want %v", path, got, want)
 		}
 	}
 }

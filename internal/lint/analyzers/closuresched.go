@@ -1,0 +1,96 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"coma/internal/lint/analysis"
+)
+
+// ClosureSched reports function literals passed to the sim.Engine
+// closure-scheduling entry points (At, After) in hot-path engine
+// packages. Every such literal allocates one closure per scheduled
+// event; the kernel's typed-event scheme (Engine.AtSink/AfterSink with
+// an EventSink payload, or the built-in process-wake event) dispatches
+// the same work allocation-free. Named function values stay legal — the
+// rule targets the per-event literal, the allocation that scales with
+// event count, not the one-time closure of a self-rescheduling ticker.
+var ClosureSched = &analysis.Analyzer{
+	Name: "closuresched",
+	Doc: "hot-path packages must not schedule per-event closures via " +
+		"Engine.At/After literals; use typed events (AtSink/AfterSink)",
+	Run: runClosureSched,
+}
+
+// ClosureSchedScope reports whether the analyzer applies to a package:
+// the packages whose event traffic scales with simulated work (every
+// mesh delivery, coherence transaction and checkpoint timer flows
+// through them). internal/sim itself is exempt — it implements both the
+// closure and the typed paths — as is everything outside the simulation
+// engines (cmd mains, offline analysis, serving).
+func ClosureSchedScope(pkgPath string) bool {
+	if allowlisted(pkgPath) {
+		return false
+	}
+	for _, suffix := range []string{
+		"internal/mesh", "internal/coherence", "internal/core",
+		"internal/machine", "internal/node", "internal/snoop",
+		"internal/cache", "internal/fault", "internal/workload",
+	} {
+		if strings.HasSuffix(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runClosureSched(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "At" && sel.Sel.Name != "After" {
+				return true
+			}
+			if !isEngineMethod(pass, sel) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if _, isLit := arg.(*ast.FuncLit); isLit {
+					pass.Reportf(arg.Pos(),
+						"closure literal scheduled via Engine.%s allocates per event on a hot path: "+
+							"use a typed event (Engine.AtSink/AfterSink with an EventSink)",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isEngineMethod reports whether the selected call resolves to a method
+// on *sim.Engine.
+func isEngineMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type().String()
+	return strings.HasSuffix(recv, "sim.Engine")
+}

@@ -31,7 +31,9 @@ var Determinism = &analysis.Analyzer{
 }
 
 // DeterminismScope reports whether the analyzer applies to a package:
-// the deterministic core of the simulator, the observability subtree
+// the deterministic core of the simulator (including the mesh message
+// fabric and the machine assembly, whose slab indices and typed-event
+// timers feed the kernel's replay-identical dispatch), the observability subtree
 // (whose exported traces promise byte-identical same-seed replay and
 // whose offline analyses must be pure trace functions), plus
 // the experiment campaign subtree (whose tables promise bit-identical
@@ -48,7 +50,9 @@ func DeterminismScope(pkgPath string) bool {
 	case strings.HasSuffix(pkgPath, "internal/sim"),
 		strings.HasSuffix(pkgPath, "internal/coherence"),
 		strings.HasSuffix(pkgPath, "internal/core"),
-		strings.HasSuffix(pkgPath, "internal/node"):
+		strings.HasSuffix(pkgPath, "internal/node"),
+		strings.HasSuffix(pkgPath, "internal/mesh"),
+		strings.HasSuffix(pkgPath, "internal/machine"):
 		return true
 	}
 	// internal/obs is a subtree, not a suffix: the offline analysis

@@ -1,0 +1,55 @@
+// Fixture for the closuresched analyzer: a mesh-delivery-shaped hot
+// path that schedules per-event closures through Engine.At/After must be
+// flagged where the typed-event API exists; the typed form and named
+// function values (one-time ticker closures) stay silent.
+package fixture
+
+import "coma/internal/sim"
+
+// net mimics the shape of internal/mesh.Network: a deliver method and a
+// pending-message slab addressed by the typed-event payload.
+type net struct {
+	eng     *sim.Engine
+	pending []msg
+}
+
+type msg struct{ dst int }
+
+func (n *net) OnEvent(e *sim.Engine, arg int64) { n.deliver(n.pending[arg]) }
+
+func (n *net) deliver(m msg) {}
+
+// sendClosure is the pre-rewrite hot path: one closure allocation per
+// delivered message.
+func (n *net) sendClosure(m msg, deliverAt int64) {
+	n.eng.After(0, func() { n.deliver(m) }) // want `closure literal scheduled via Engine.After allocates per event`
+	n.eng.At(deliverAt, func() {            // want `closure literal scheduled via Engine.At allocates per event`
+		n.deliver(m)
+	})
+}
+
+// sendTyped is the rewritten form: the message parks in the slab and a
+// typed event carries its index; no per-event allocation.
+func (n *net) sendTyped(m msg, deliverAt int64) {
+	idx := int64(len(n.pending))
+	n.pending = append(n.pending, m)
+	n.eng.AtSink(deliverAt, n, idx)
+	n.eng.AfterSink(0, n, idx)
+}
+
+// tick is a self-rescheduling sampler: the closure is allocated once for
+// the whole run and reused, so passing it as a named value is fine.
+func tick(e *sim.Engine) {
+	var fn func()
+	fn = func() { e.After(10_000, fn) }
+	e.After(10_000, fn)
+}
+
+// otherAfter is not an Engine method: not a scheduling call.
+type retrier struct{}
+
+func (r *retrier) After(d int64, fn func()) {}
+
+func notEngine(r *retrier) {
+	r.After(0, func() {})
+}

@@ -101,7 +101,20 @@ type Machine struct {
 
 	// obsTicks counts queue-depth ticker dispatches so collect() can
 	// report the same Events total whether or not observation is on.
+	// obsEvery is the ticker period; the Machine is its own sim.EventSink
+	// so the recurring timer never allocates a closure.
 	obsTicks int64
+	obsEvery int64
+}
+
+// OnEvent implements sim.EventSink: the observability ticker samples mesh
+// occupancy and rearms itself.
+func (m *Machine) OnEvent(e *sim.Engine, _ int64) {
+	m.obsTicks++
+	m.cfg.Obs.Emit(obs.Event{Time: e.Now(), Kind: obs.KQueueDepth,
+		Node: proto.None, Item: proto.NoItem,
+		A: m.net.Inflight(mesh.RequestNet), B: m.net.Inflight(mesh.ReplyNet)})
+	e.AfterSink(m.obsEvery, m, 0)
 }
 
 // cacheOps adapts the node set to the coherence engine's cache hook.
@@ -251,19 +264,11 @@ func (m *Machine) Run() (*stats.Run, error) {
 		// Sim-time ticker sampling mesh occupancy. It reschedules itself
 		// for as long as the engine runs; its dispatches are counted so
 		// the reported Events total is unchanged by observation.
-		every := m.cfg.ObsSampleEvery
-		if every <= 0 {
-			every = 10_000
+		m.obsEvery = m.cfg.ObsSampleEvery
+		if m.obsEvery <= 0 {
+			m.obsEvery = 10_000
 		}
-		var tick func()
-		tick = func() {
-			m.obsTicks++
-			m.cfg.Obs.Emit(obs.Event{Time: m.eng.Now(), Kind: obs.KQueueDepth,
-				Node: proto.None, Item: proto.NoItem,
-				A: m.net.Inflight(mesh.RequestNet), B: m.net.Inflight(mesh.ReplyNet)})
-			m.eng.After(every, tick)
-		}
-		m.eng.After(every, tick)
+		m.eng.AfterSink(m.obsEvery, m, 0)
 	}
 
 	limit := int64(-1)

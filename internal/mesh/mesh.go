@@ -142,6 +142,17 @@ type Network struct {
 	// nobody reads them.
 	inflight [2]int64
 
+	// pending parks accepted messages until their delivery event fires:
+	// Send stores the message in a free slot and schedules a typed event
+	// (sim.EventSink) whose arg is the slot index, so the per-delivery
+	// closure allocation is gone. free lists reusable slots.
+	pending []Message
+	free    []int32
+
+	// routeBuf is the reusable scratch for route's link path (Send uses
+	// it before returning; deliveries never re-enter route).
+	routeBuf []int
+
 	// obs, when non-nil, receives one KTxnHop event per delivery of a
 	// transaction-stamped message. Never affects timing or routing.
 	obs obs.Observer
@@ -219,7 +230,7 @@ func (n *Network) Send(m Message) {
 		// Loopback: no network traversal; the controller hand-off is
 		// free (its work is charged by the handler itself).
 		n.inflight[SubnetOf(m.Kind)]++
-		n.eng.After(0, func() { n.deliver(m) })
+		n.eng.AfterSink(0, n, n.park(m))
 		return
 	}
 	if n.down[m.Src] {
@@ -251,7 +262,30 @@ func (n *Network) Send(m Message) {
 	n.stats.Messages[sub]++
 	n.stats.Flits[sub] += flits
 
-	n.eng.At(deliverAt, func() { n.deliver(m) })
+	n.eng.AtSink(deliverAt, n, n.park(m))
+}
+
+// park stores an accepted message in the pending slab and returns its
+// slot index, the typed-event payload carried to OnEvent.
+func (n *Network) park(m Message) int64 {
+	if len(n.free) > 0 {
+		i := n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+		n.pending[i] = m
+		return int64(i)
+	}
+	n.pending = append(n.pending, m)
+	return int64(len(n.pending) - 1)
+}
+
+// OnEvent implements sim.EventSink: a delivery event fired for the
+// parked message in slot arg. The slot is released before the handler
+// runs so reentrant Sends can reuse it.
+func (n *Network) OnEvent(_ *sim.Engine, arg int64) {
+	m := n.pending[arg]
+	n.pending[arg] = Message{} // release future/txn refs for the GC
+	n.free = append(n.free, int32(arg))
+	n.deliver(m)
 }
 
 func (n *Network) deliver(m Message) {
@@ -287,10 +321,11 @@ func (n *Network) UncontendedLatency(kind proto.MsgKind, hops int) int64 {
 }
 
 // route returns the directed link indices of the XY path from a to b.
+// The returned slice aliases routeBuf and is valid until the next call.
 func (n *Network) route(a, b proto.NodeID) []int {
 	ax, ay := n.Coord(a)
 	bx, by := n.Coord(b)
-	path := make([]int, 0, abs(ax-bx)+abs(ay-by))
+	path := n.routeBuf[:0]
 	x, y := ax, ay
 	for x != bx {
 		nx := x + sign(bx-x)
@@ -302,6 +337,7 @@ func (n *Network) route(a, b proto.NodeID) []int {
 		path = append(path, n.linkIndex(x, y, x, ny))
 		y = ny
 	}
+	n.routeBuf = path // keep any growth for reuse
 	return path
 }
 

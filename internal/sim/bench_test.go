@@ -66,26 +66,67 @@ func BenchmarkSpawnWaitChurn(b *testing.B) {
 	e.Shutdown()
 }
 
-// BenchmarkHeapPushPop measures scheduling against a deep event queue:
-// each iteration pushes and pops one event while depth-1 others are
-// pending, isolating the binary-heap cost from the process machinery.
+// BenchmarkHeapPushPop measures the binary min-heap that backs the
+// timing wheel's far-future overflow: each iteration pushes and pops one
+// event while depth-1 others are pending. Kept as the baseline the wheel
+// is compared against (see BenchmarkWheelDepths).
 func BenchmarkHeapPushPop(b *testing.B) {
 	for _, depth := range []int{16, 256, 4096} {
 		depth := depth
 		b.Run(benchName(depth), func(b *testing.B) {
 			b.ReportAllocs()
-			e := New()
+			var h eventHeap
 			r := NewRNG(7)
-			nop := func() {}
+			var seq int64
 			for i := 0; i < depth-1; i++ {
-				e.At(1+r.Int63n(1<<30), nop)
+				seq++
+				h.push(event{time: 1 + r.Int63n(1<<30), seq: seq})
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.At(1+r.Int63n(1<<30), nop)
-				e.queue.pop()
+				seq++
+				h.push(event{time: 1 + r.Int63n(1<<30), seq: seq})
+				h.pop()
 			}
 		})
+	}
+}
+
+// BenchmarkWheelDepths measures the full event queue (wheel + overflow)
+// at the same depths as BenchmarkHeapPushPop. The "near" variant keeps
+// every event inside the wheel window — the simulator's hot distribution
+// (mesh hops, service times) — so push/pop is slot append plus bitmap
+// scan; the "far" variant forces most events through the overflow heap
+// and its migration path.
+func BenchmarkWheelDepths(b *testing.B) {
+	for _, dist := range []struct {
+		name string
+		span int64
+	}{
+		{"near", wheelSize - 1},
+		{"far", 1 << 20},
+	} {
+		for _, depth := range []int{16, 256, 4096} {
+			dist, depth := dist, depth
+			b.Run(dist.name+"/"+benchName(depth), func(b *testing.B) {
+				b.ReportAllocs()
+				var q eventQueue
+				r := NewRNG(7)
+				var now, seq int64
+				push := func() {
+					seq++
+					q.push(event{time: now + 1 + r.Int63n(dist.span), seq: seq})
+				}
+				for i := 0; i < depth-1; i++ {
+					push()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					push()
+					now = q.pop().time
+				}
+			})
+		}
 	}
 }
 

@@ -6,14 +6,22 @@
 // barriers.
 //
 // Determinism: at most one goroutine (the engine or exactly one process)
-// runs at any instant, enforced by a strict wake/yield handshake, and
+// runs at any instant, enforced by a strict baton-passing discipline, and
 // simultaneous events fire in schedule order. Two runs with the same seed
 // and the same inputs produce identical event sequences.
+//
+// The hot paths are allocation-free: pending events live in a timing
+// wheel (wheel.go) of reusable slots, process wakes and typed payload
+// events (EventSink) are enum-dispatched without closures, and the
+// goroutine holding the baton dispatches subsequent events itself — a
+// process waking another process is one channel handoff, a process
+// waking itself is none.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // Engine is the event queue and clock of one simulation. The zero value is
@@ -21,18 +29,23 @@ import (
 type Engine struct {
 	now   int64
 	seq   int64
-	queue eventHeap
+	queue eventQueue
 
 	// nowq is the same-cycle fast path: events scheduled while running
 	// for the current cycle are appended here (a FIFO, already in seq
-	// order) instead of paying a heap push/pop. The dispatch loop merges
-	// nowq and the heap by (time, seq), so ordering is identical to a
-	// heap-only schedule. nowqHead indexes the next pending entry; the
-	// backing array is reused once drained.
+	// order) instead of paying a queue insert. Dispatch merges nowq and
+	// the queue by (time, seq), so ordering is identical to a queue-only
+	// schedule. nowqHead indexes the next pending entry; the backing
+	// array is reused once drained.
 	nowq     []event
 	nowqHead int
 
-	yield chan struct{} // processes hand control back to the engine here
+	// yield carries the baton back to the engine goroutine; during a run
+	// it is sent exactly once, when the run is over (queue empty, Stop,
+	// or the RunUntil limit). During Shutdown it signals each kill step.
+	yield chan struct{}
+
+	limit int64 // current run's RunUntil limit (-1: none)
 
 	procs   map[*Process]struct{}
 	nextPID int
@@ -44,29 +57,47 @@ type Engine struct {
 	events int64 // total events dispatched, for diagnostics
 }
 
-// event is one scheduled occurrence. Exactly one of fn and proc is set:
-// fn is an arbitrary callback; proc is a parked process to resume, kept
-// as a typed field so the hot block/wake path (Process.Wait, future and
-// resource wakes) schedules without allocating a closure.
+// EventSink receives typed events scheduled with AtSink/AfterSink. The
+// arg is an opaque payload chosen by the scheduler of the event (an
+// index into a pending-work slab, a timer generation, ...); together
+// they make recurring timers and message deliveries allocation-free
+// where an At closure would allocate per event. OnEvent runs in event
+// context and must not block.
+type EventSink interface {
+	OnEvent(e *Engine, arg int64)
+}
+
+// eventKind discriminates the event payload; see event.
+type eventKind uint8
+
+const (
+	evFn    eventKind = iota // fn: arbitrary callback
+	evWake                   // proc: resume a parked process
+	evStart                  // proc: first dispatch of a spawned process
+	evSink                   // sink, arg: typed allocation-free payload
+)
+
+// event is one scheduled occurrence. Exactly one payload field is live,
+// selected by kind; wakes, starts and sink events carry typed fields so
+// the hot block/wake and message-delivery paths schedule without
+// allocating a closure.
 type event struct {
 	time int64
 	seq  int64
+	kind eventKind
 	fn   func()
 	proc *Process
+	sink EventSink
+	arg  int64
 }
-
-// initialQueueCap pre-sizes the event containers so steady-state
-// simulations never grow them; both backing arrays are reused across
-// Run calls for the life of the engine.
-const initialQueueCap = 256
 
 // New returns a fresh engine with the clock at cycle zero.
 func New() *Engine {
 	return &Engine{
-		queue: eventHeap{a: make([]event, 0, initialQueueCap)},
-		nowq:  make([]event, 0, initialQueueCap/4),
+		nowq:  make([]event, 0, 64),
 		yield: make(chan struct{}),
 		procs: make(map[*Process]struct{}),
+		limit: -1,
 	}
 }
 
@@ -83,14 +114,21 @@ func (e *Engine) Processes() int { return len(e.procs) }
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics.
 func (e *Engine) At(t int64, fn func()) {
-	e.schedule(event{time: t, fn: fn})
+	e.schedule(event{time: t, kind: evFn, fn: fn})
+}
+
+// AtSink schedules a typed event: at absolute time t, sink.OnEvent runs
+// with the given arg. The allocation-free alternative to At for hot
+// paths (see EventSink).
+func (e *Engine) AtSink(t int64, sink EventSink, arg int64) {
+	e.schedule(event{time: t, kind: evSink, sink: sink, arg: arg})
 }
 
 // atWake schedules the resumption of a parked process at absolute time
 // t. It is the allocation-free twin of At used by every blocking
 // primitive (Wait, future/resource/barrier wakes).
 func (e *Engine) atWake(t int64, p *Process) {
-	e.schedule(event{time: t, proc: p})
+	e.schedule(event{time: t, kind: evWake, proc: p})
 }
 
 func (e *Engine) schedule(ev event) {
@@ -114,6 +152,14 @@ func (e *Engine) After(d int64, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// AfterSink schedules a typed event d cycles from now; see AtSink.
+func (e *Engine) AfterSink(d int64, sink EventSink, arg int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.AtSink(e.now+d, sink, arg)
+}
+
 // Stop makes Run return after the currently dispatching event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -128,87 +174,141 @@ func (e *Engine) Run() (int64, error) { return e.RunUntil(-1) }
 // RunUntil behaves like Run but additionally stops once the clock would
 // advance past limit (events at exactly limit still fire). A negative limit
 // means no limit.
+//
+// The engine goroutine dispatches callbacks until control first transfers
+// to a process; from then on whichever goroutine holds the baton keeps
+// dispatching (see advance), and the engine blocks until a holder finds
+// the run over and hands the baton back.
 func (e *Engine) RunUntil(limit int64) (int64, error) {
 	if e.running {
 		return e.now, ErrNested
 	}
 	e.running = true
 	e.stopped = false
+	e.limit = limit
 	defer func() { e.running = false }()
 
-	for !e.stopped {
-		// Drain the same-cycle FIFO in merged (time, seq) order with the
-		// heap: a heap event at the current cycle with a smaller seq was
-		// scheduled earlier and fires first. nowq entries are always due
-		// at e.now, so time never advances while any are pending.
-		if e.nowqHead < len(e.nowq) {
-			nq := e.nowq[e.nowqHead]
-			if e.queue.len() > 0 {
-				top := e.queue.peek()
-				if top.time < nq.time || (top.time == nq.time && top.seq < nq.seq) {
-					e.dispatch(e.queue.pop())
-					continue
-				}
-			}
-			e.nowq[e.nowqHead] = event{} // release fn/proc for the GC
-			e.nowqHead++
-			if e.nowqHead == len(e.nowq) {
-				e.nowq = e.nowq[:0] // drained: reuse the backing array
-				e.nowqHead = 0
-			}
-			e.dispatch(nq)
-			continue
-		}
-		if e.queue.len() == 0 {
-			break
-		}
-		next := e.queue.peek()
-		if limit >= 0 && next.time > limit {
-			e.now = limit
-			return e.now, nil
-		}
-		ev := e.queue.pop()
-		if ev.time < e.now {
-			panic("sim: event queue went backwards")
-		}
-		e.dispatch(ev)
+	if e.advance(nil) == advHandoff {
+		<-e.yield
 	}
 	return e.now, nil
 }
 
-// dispatch fires one due event: either a plain callback or, on the
-// allocation-free wake path, the handshake resuming a parked process.
-func (e *Engine) dispatch(ev event) {
-	e.now = ev.time
-	e.events++
-	if ev.proc != nil {
-		ev.proc.wake <- struct{}{}
-		<-e.yield
-		return
+// advResult says how an advance call ended.
+type advResult uint8
+
+const (
+	// advOver: the run is over — queue empty, Stop called, or the limit
+	// reached. The engine goroutine returns from RunUntil on it; a
+	// process-side holder must hand the baton back through yield.
+	advOver advResult = iota
+	// advHandoff: the baton moved to another process goroutine.
+	advHandoff
+	// advSelf: the caller's own wake event fired (process holders only);
+	// the caller resumes user code without any channel operation.
+	advSelf
+)
+
+// advance dispatches due events on the calling goroutine — the current
+// baton holder — until the run ends or the baton must transfer.
+// Callbacks and typed sink events run inline regardless of which
+// goroutine holds the baton (exactly one goroutine runs at any instant,
+// so the single-threaded discipline is preserved); a wake of self
+// returns control to the caller's user code directly.
+func (e *Engine) advance(self *Process) advResult {
+	for {
+		ev, ok := e.next()
+		if !ok {
+			return advOver
+		}
+		e.now = ev.time
+		e.events++
+		switch ev.kind {
+		case evFn:
+			ev.fn()
+		case evSink:
+			ev.sink.OnEvent(e, ev.arg)
+		case evWake:
+			if ev.proc == self {
+				return advSelf
+			}
+			ev.proc.wake <- struct{}{}
+			return advHandoff
+		case evStart:
+			go ev.proc.top()
+			return advHandoff
+		}
 	}
-	ev.fn()
+}
+
+// next pops the next due event, merging the same-cycle FIFO with the
+// timing wheel in (time, seq) order. ok is false when the run is over:
+// the queue is drained, Stop was called, or the next event lies beyond
+// the RunUntil limit (in which case the clock advances to the limit).
+func (e *Engine) next() (event, bool) {
+	if e.stopped {
+		return event{}, false
+	}
+	if e.nowqHead < len(e.nowq) {
+		nq := e.nowq[e.nowqHead]
+		// A queue event at the current cycle with a smaller seq was
+		// scheduled earlier and fires first. nowq entries are always due
+		// at e.now, so time never advances while any are pending.
+		if top := e.queue.peek(); top != nil &&
+			(top.time < nq.time || (top.time == nq.time && top.seq < nq.seq)) {
+			return e.queue.pop(), true
+		}
+		e.nowq[e.nowqHead] = event{} // release fn/proc/sink for the GC
+		e.nowqHead++
+		if e.nowqHead == len(e.nowq) {
+			e.nowq = e.nowq[:0] // drained: reuse the backing array
+			e.nowqHead = 0
+		}
+		return nq, true
+	}
+	if e.queue.len() == 0 {
+		return event{}, false
+	}
+	if e.limit >= 0 {
+		if top := e.queue.peek(); top.time > e.limit {
+			e.now = e.limit
+			return event{}, false
+		}
+	}
+	ev := e.queue.pop()
+	if ev.time < e.now {
+		panic("sim: event queue went backwards")
+	}
+	return ev, true
 }
 
 // Shutdown terminates every live process (they observe a killed signal at
-// their next — or current — blocking point) and drains their goroutines.
-// The engine must not be running. After Shutdown the engine can still
-// inspect state but should not schedule further work.
+// their next — or current — blocking point) and drains their goroutines,
+// in ascending process-id order for determinism. The engine must not be
+// running. After Shutdown the engine can still inspect state but should
+// not schedule further work.
 func (e *Engine) Shutdown() {
 	if e.running {
 		panic("sim: Shutdown while running")
 	}
 	e.shutdown = true
-	// Wake every parked process; each observes killed and unwinds.
+	// Snapshot and sort once per pass instead of an O(n²) lowest-id scan;
+	// the outer loop re-collects in case an unwinding process spawns or
+	// reaps peers.
 	for len(e.procs) > 0 {
-		var p *Process
-		for q := range e.procs {
-			if p == nil || q.id < p.id {
-				p = q // deterministic order: lowest id first
-			}
+		order := make([]*Process, 0, len(e.procs))
+		for p := range e.procs {
+			order = append(order, p)
 		}
-		p.killed = true
-		p.wake <- struct{}{}
-		<-e.yield
+		slices.SortFunc(order, func(a, b *Process) int { return a.id - b.id })
+		for _, p := range order {
+			if _, live := e.procs[p]; !live {
+				continue
+			}
+			p.killed = true
+			p.wake <- struct{}{}
+			<-e.yield
+		}
 	}
 }
 
@@ -222,7 +322,8 @@ func (e *Engine) wakeNow(p *Process) {
 // time. The counterpart of Process.Park for externally built primitives.
 func (e *Engine) WakeNow(p *Process) { e.wakeNow(p) }
 
-// eventHeap is a binary min-heap ordered by (time, seq).
+// eventHeap is a binary min-heap ordered by (time, seq); it backs the
+// timing wheel's far-future overflow (wheel.go).
 type eventHeap struct{ a []event }
 
 func (h *eventHeap) len() int     { return len(h.a) }

@@ -7,12 +7,13 @@ import "fmt"
 type killedSignal struct{}
 
 // Process is a lightweight simulated process: a goroutine that runs only
-// while the engine has handed it control, and that blocks on simulated
-// time (Wait), futures (Await), resources (Acquire) and barriers.
+// while it holds the engine's baton, and that blocks on simulated time
+// (Wait), futures (Await), resources (Acquire) and barriers.
 type Process struct {
 	eng    *Engine
 	id     int
 	name   string
+	fn     func(*Process)
 	wake   chan struct{}
 	killed bool
 }
@@ -26,21 +27,23 @@ func (e *Engine) Spawn(name string, fn func(p *Process)) *Process {
 		eng:  e,
 		id:   e.nextPID,
 		name: name,
+		fn:   fn,
 		wake: make(chan struct{}),
 	}
 	e.procs[p] = struct{}{}
-	e.After(0, func() {
-		go p.top(fn)
-		<-e.yield
-	})
+	e.schedule(event{time: e.now, kind: evStart, proc: p})
 	return p
 }
 
-// top is the outermost frame of the process goroutine. It guarantees the
-// engine always gets its yield back, whether fn returns, is killed, or
-// panics (a real panic is re-raised after the handshake so the program
-// crashes loudly rather than deadlocking).
-func (p *Process) top(fn func(*Process)) {
+// top is the outermost frame of the process goroutine, entered holding
+// the baton (the evStart dispatcher transferred it by starting this
+// goroutine). It guarantees the baton moves on when fn returns, is
+// killed, or panics: a finished process keeps dispatching events itself
+// until the baton transfers or the run ends, and a real panic is
+// re-raised after handing the baton back so the program crashes loudly
+// rather than deadlocking.
+func (p *Process) top() {
+	e := p.eng
 	var crash any
 	func() {
 		defer func() {
@@ -50,17 +53,29 @@ func (p *Process) top(fn func(*Process)) {
 				}
 			}
 		}()
-		fn(p)
+		p.fn(p)
 	}()
-	delete(p.eng.procs, p)
+	delete(e.procs, p)
 	if crash != nil {
 		// Re-panic on this goroutine: the process misbehaved and the
 		// whole simulation is undefined. Yield first so the engine
 		// goroutine is not left blocked when the runtime unwinds.
-		p.eng.yield <- struct{}{}
+		e.yield <- struct{}{}
 		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, crash))
 	}
-	p.eng.yield <- struct{}{}
+	if e.shutdown {
+		// Killed unwind: Shutdown's engine loop owns sequencing.
+		e.yield <- struct{}{}
+		return
+	}
+	// Dying holder: keep dispatching on this goroutine until the baton
+	// transfers (advHandoff, nothing more to do here) or the run is over
+	// (advOver: hand the baton back to the engine blocked in RunUntil).
+	// advSelf cannot happen — this process is out of the procs set and
+	// can have no pending wake.
+	if e.advance(nil) == advOver {
+		e.yield <- struct{}{}
+	}
 }
 
 // Name returns the process name given at Spawn.
@@ -72,10 +87,27 @@ func (p *Process) Engine() *Engine { return p.eng }
 // Now returns the current simulated time.
 func (p *Process) Now() int64 { return p.eng.now }
 
-// park hands control back to the engine and blocks until something wakes
-// this process. Every blocking primitive funnels through here.
+// park blocks until something wakes this process. Every blocking
+// primitive funnels through here. As the current baton holder the
+// process dispatches subsequent events itself: its own wake returns
+// without touching a channel, another process's wake is a single direct
+// handoff, and only the end of the run involves the engine goroutine.
 func (p *Process) park() {
-	p.eng.yield <- struct{}{}
+	e := p.eng
+	if e.running {
+		switch e.advance(p) {
+		case advSelf:
+			return
+		case advOver:
+			// Hand the baton back to the engine blocked in RunUntil,
+			// then stay parked for a later run.
+			e.yield <- struct{}{}
+		}
+	} else {
+		// Outside a run (a killed process unwinding through Shutdown):
+		// hand control back to the engine's kill loop.
+		e.yield <- struct{}{}
+	}
 	<-p.wake
 	if p.killed {
 		panic(killedSignal{})

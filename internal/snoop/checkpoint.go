@@ -135,9 +135,14 @@ func (m *Machine) commitNode(n proto.NodeID) {
 // recovery point, re-pairs the recovery copies that lost their partner,
 // and every generator rewinds. Call before Run.
 func (m *Machine) FailTransient(t int64, f proto.NodeID) {
-	m.eng.At(t, func() {
-		m.eng.Spawn("bus-recovery", func(p *sim.Process) { m.recover(p, f) })
-	})
+	m.eng.AtSink(t, m, int64(f))
+}
+
+// OnEvent implements sim.EventSink: a scheduled failure fires, spawning
+// the recovery process for the node carried in arg.
+func (m *Machine) OnEvent(e *sim.Engine, arg int64) {
+	f := proto.NodeID(arg)
+	e.Spawn("bus-recovery", func(p *sim.Process) { m.recover(p, f) })
 }
 
 func (m *Machine) recover(p *sim.Process, f proto.NodeID) {
