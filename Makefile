@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint comalint staticcheck bench bench-json bench-compare smoke-serve model check
+.PHONY: all build test race vet lint comalint staticcheck bench bench-json bench-compare smoke-serve smoke-inspect model check
 
 all: check
 
@@ -60,6 +60,13 @@ bench-compare:
 # payloads, metrics, graceful drain on SIGTERM (see README §Serving).
 smoke-serve:
 	bash scripts/smoke-serve.sh
+
+# smoke-inspect exercises the live-inspection layer end to end: REPL
+# trace byte-identity, the four comad inspect views mid-run, the SSE
+# sample stream, per-job gauges, and inspected-vs-uninspected result
+# identity (see README §Live inspection).
+smoke-inspect:
+	bash scripts/smoke-inspect.sh
 
 # model runs the protocol-conformance gate: static extraction over both
 # engines, exhaustive model checking, the staged runtime edge suite, and

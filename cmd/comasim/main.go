@@ -85,6 +85,7 @@ func main() {
 		verify   = flag.Bool("invariants", false, "check recovery-data invariants at every commit")
 
 		remote = flag.String("remote", "", "run on a comad daemon at this base URL instead of in-process")
+		repl   = flag.Bool("repl", false, "interactive inspection: pause/step/inspect/resume the run from stdin")
 
 		metricsOut = flag.String("metrics-out", "", "write the histogram summary to this file (\"-\" for stdout)")
 		obsFilter  = flag.String("obs-filter", "", "comma-separated event classes to record: state, fill, inject, ckpt, fault, net, all (default all)")
@@ -104,6 +105,10 @@ func main() {
 	if *remote != "" {
 		if len(traceOuts) > 0 || *metricsOut != "" {
 			fmt.Fprintln(os.Stderr, "comasim: -trace-out/-metrics-out need an in-process run (drop -remote)")
+			os.Exit(2)
+		}
+		if *repl {
+			fmt.Fprintln(os.Stderr, "comasim: -repl needs an in-process run (drop -remote)")
 			os.Exit(2)
 		}
 		os.Exit(runRemote(*remote, remoteSpec(*appName, *nodes, *protocol, *hz, *scale, *seed, *modern, *strict, *verify, failures)))
@@ -141,6 +146,23 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "comasim: unknown protocol %q\n", *protocol)
 		os.Exit(2)
+	}
+
+	if *repl {
+		spec := remoteSpec(*appName, *nodes, *protocol, *hz, *scale, *seed, *modern, *strict, *verify, failures)
+		res, err := runREPL(spec, rec, os.Stdin, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
+			os.Exit(1)
+		}
+		printResult(res)
+		if rec != nil {
+			if err := exportObservations(rec, res, traceOuts, *metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	res, err := coma.Run(cfg)

@@ -111,6 +111,14 @@ func summarize(paths []string) {
 	}
 	for _, path := range paths {
 		events := loadEvents(path)
+		if len(events) == 0 {
+			// An empty trace is almost always an upstream mistake (wrong
+			// file, over-narrow -obs-filter), so fail loudly instead of
+			// printing an all-zero report.
+			fmt.Fprintf(os.Stderr, "comatrace: %s: trace contains no events (wrong file, or -obs-filter recorded nothing?)\n",
+				displayName(path))
+			os.Exit(1)
+		}
 		fmt.Printf("%s:\n", displayName(path))
 		if err := obs.WriteSummary(os.Stdout, events); err != nil {
 			fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)

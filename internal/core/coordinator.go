@@ -171,6 +171,52 @@ func NewCoordinator(eng *sim.Engine, coh *coherence.Engine, net *mesh.Network,
 // Stats returns the checkpoint accounting so far.
 func (co *Coordinator) Stats() stats.Checkpointing { return co.ck }
 
+// PhaseSnapshot is a read-only view of the coordinator's round state
+// for the live-inspection layer. Counter fields report barrier
+// progress: Got arrivals out of Need for the quiesce gather and the two
+// establishment/recovery phases of the round in flight (all zero
+// between rounds, when the counters of the previous round have been
+// replaced).
+type PhaseSnapshot struct {
+	Round           int64
+	Recovery        bool // current round is a rollback, not an establishment
+	PauseRequested  bool
+	QuiesceGot      int
+	QuiesceNeed     int
+	Phase1Got       int
+	Phase1Need      int
+	Phase2Got       int
+	Phase2Need      int
+	LiveNodes       int
+	PendingFailures int
+}
+
+// Snapshot reports the coordinator's current round state. Read-only;
+// called by the live-inspection layer at engine safe points.
+func (co *Coordinator) Snapshot() PhaseSnapshot {
+	s := PhaseSnapshot{
+		Round:           co.round,
+		Recovery:        co.mode == roundRecovery,
+		PauseRequested:  co.pauseRequested,
+		PendingFailures: len(co.pendingFailures),
+	}
+	if co.quiesce != nil {
+		s.QuiesceGot, s.QuiesceNeed = co.quiesce.got, co.quiesce.need
+	}
+	if co.phase1 != nil {
+		s.Phase1Got, s.Phase1Need = co.phase1.got, co.phase1.need
+	}
+	if co.phase2 != nil {
+		s.Phase2Got, s.Phase2Need = co.phase2.got, co.phase2.need
+	}
+	for _, alive := range co.alive {
+		if alive {
+			s.LiveNodes++
+		}
+	}
+	return s
+}
+
 // SetObserver installs the observability sink (nil disables it).
 func (co *Coordinator) SetObserver(o obs.Observer) { co.obsv = o }
 

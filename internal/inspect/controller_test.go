@@ -1,0 +1,151 @@
+package inspect
+
+import (
+	"sync"
+	"testing"
+
+	"coma/internal/proto"
+)
+
+// fakeSource counts queries and reports a fixed summary; now is set by
+// the test's dispatch loop.
+type fakeSource struct {
+	now     int64
+	events  int64
+	queried int
+}
+
+func (f *fakeSource) InspectLine(item proto.ItemID) LineView {
+	f.queried++
+	return LineView{Item: int64(item)}
+}
+
+func (f *fakeSource) InspectNodes() []NodeView {
+	return []NodeView{{Node: 0, Alive: true}}
+}
+
+func (f *fakeSource) InspectQueues() QueuesView {
+	return QueuesView{SimCycles: f.now}
+}
+
+func (f *fakeSource) InspectSummary() SummaryView {
+	return SummaryView{SimCycles: f.now, Events: f.events}
+}
+
+// run dispatches n fake events through the safe-point protocol exactly
+// as sim.Engine.advance does: hook, then one dispatch.
+func run(src *fakeSource, ctl *Controller, n int64) {
+	for i := int64(0); i < n; i++ {
+		ctl.AtSafePoint(src.now)
+		src.now += 10
+		src.events++
+	}
+	ctl.Finish()
+}
+
+// TestPauseStepResume drives the full client protocol against a fake
+// dispatch loop: pause parks the run, queries answer against parked
+// state, step dispatches an exact event count, resume releases it.
+func TestPauseStepResume(t *testing.T) {
+	src := &fakeSource{}
+	ctl := NewController(src, 0)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		run(src, ctl, 1000)
+	}()
+
+	ctl.Pause()
+	var at1, at2 int64
+	ctl.Query(func(s Source) { at1 = s.InspectSummary().Events })
+	ctl.Query(func(s Source) { at2 = s.InspectSummary().Events })
+	if at1 != at2 {
+		t.Errorf("events advanced while paused: %d then %d", at1, at2)
+	}
+
+	ctl.Step(7)
+	var after int64
+	ctl.Query(func(s Source) { after = s.InspectSummary().Events })
+	if after != at1+7 {
+		t.Errorf("step(7): events %d -> %d, want +7", at1, after)
+	}
+
+	ctl.Resume()
+	wg.Wait()
+
+	if !ctl.Finished() {
+		t.Fatal("controller not finished after run returned")
+	}
+	if src.events != 1000 {
+		t.Errorf("run dispatched %d events, want 1000", src.events)
+	}
+	// Queries after finish answer inline from the quiescent state.
+	var final int64
+	ctl.Query(func(s Source) { final = s.InspectSummary().Events })
+	if final != 1000 {
+		t.Errorf("post-finish query saw %d events, want 1000", final)
+	}
+}
+
+// TestSampling checks the periodic stream: samples are published with
+// increasing Seq, the wake channel fires on publication, and Finish
+// publishes a terminal sample marked Finished.
+func TestSampling(t *testing.T) {
+	src := &fakeSource{}
+	ctl := NewController(src, 100) // every 100 cycles = every 10 events
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		run(src, ctl, 500)
+	}()
+
+	// Follow the stream until the run finishes; every observed sample
+	// must have a strictly increasing Seq.
+	var last int64
+	for {
+		w := ctl.Wake()
+		if s := ctl.Latest(); s != nil && s.Seq > last {
+			if s.Seq <= last {
+				t.Fatalf("sample seq went backwards: %d after %d", s.Seq, last)
+			}
+			last = s.Seq
+		}
+		select {
+		case <-w:
+		case <-ctl.Done():
+			<-done
+			final := ctl.Latest()
+			if final == nil || !final.Summary.Finished {
+				t.Fatal("no terminal sample marked Finished")
+			}
+			if final.Summary.Events != 500 {
+				t.Errorf("terminal sample has %d events, want 500", final.Summary.Events)
+			}
+			if last == 0 {
+				t.Error("no mid-run samples observed")
+			}
+			return
+		}
+	}
+}
+
+// TestPauseAfterFinishReturns pins the shutdown contract: client calls
+// made after (or racing with) the end of the run return promptly
+// instead of blocking on a safe point that will never come.
+func TestPauseAfterFinishReturns(t *testing.T) {
+	src := &fakeSource{}
+	ctl := NewController(src, 0)
+	run(src, ctl, 3) // runs to completion inline
+
+	ctl.Pause()
+	ctl.Step(5)
+	ctl.Resume()
+	var n int64
+	ctl.Query(func(s Source) { n = s.InspectSummary().Events })
+	if n != 3 {
+		t.Errorf("post-finish query saw %d events, want 3", n)
+	}
+}

@@ -31,6 +31,14 @@ func TestObsWallClock(t *testing.T) {
 	analysistest.Run(t, analyzers.ObsWallClock, "testdata/src/obsimpl")
 }
 
+// TestObsWallClockFlagsSnapshotBuilders proves the snapshot-builder
+// rule: wall-clock reads in any function returning internal/inspect
+// view types (pointers and slices unwrapped) are flagged, while
+// serving-layer rate computations stay out of scope.
+func TestObsWallClockFlagsSnapshotBuilders(t *testing.T) {
+	analysistest.Run(t, analyzers.ObsWallClock, "testdata/src/inspectlike")
+}
+
 func TestStateTransition(t *testing.T) {
 	analysistest.Run(t, analyzers.StateTransition, "testdata/src/statetransition")
 }
@@ -75,6 +83,7 @@ func TestDeterminismScope(t *testing.T) {
 		"coma/internal/server/future":      true,  // subtree default: checked
 		"coma/internal/mesh":               true,  // slab indices feed dispatch order
 		"coma/internal/machine":            true,  // assembles and seeds the engine
+		"coma/internal/inspect":            true,  // safe-point snapshots: sim time only
 		"coma/internal/proto":              false,
 		"coma/cmd/comasim":                 false,
 	} {

@@ -57,10 +57,15 @@ func DeterminismScope(pkgPath string) bool {
 	}
 	// internal/obs is a subtree, not a suffix: the offline analysis
 	// packages under it (txnview) promise the same trace always yields
-	// the same report, so they inherit the rule.
+	// the same report, so they inherit the rule. internal/inspect is the
+	// live-inspection layer, whose safe-point snapshots promise that an
+	// inspected run is byte-identical to an uninspected one — wall-clock
+	// reads there would leak nondeterminism straight into views and
+	// samples.
 	return inSubtree(pkgPath, "internal/obs") ||
 		inSubtree(pkgPath, "internal/experiments") ||
-		inSubtree(pkgPath, "internal/server")
+		inSubtree(pkgPath, "internal/server") ||
+		inSubtree(pkgPath, "internal/inspect")
 }
 
 // rngFile is the one file allowed to touch PRNG internals.

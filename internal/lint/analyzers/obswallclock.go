@@ -16,10 +16,17 @@ import (
 // time.Now / time.Since / time.Until. A wall-clock stamp smuggled into
 // an exported trace would break byte-identical replay of same-seed
 // runs.
+//
+// The same contract covers live-inspection snapshot builders: any
+// function whose results include a type from a package suffixed
+// internal/inspect (unwrapping pointers and slices) constructs views
+// that promise to carry simulated time only — rates and wall-clock
+// deltas belong in the serving layer, computed at scrape time.
 var ObsWallClock = &analysis.Analyzer{
 	Name: "obswallclock",
 	Doc: "Observer implementations (any type with an Emit(obs.Event) " +
-		"method) must not read the wall clock in any method",
+		"method) and inspect snapshot builders (functions returning " +
+		"internal/inspect view types) must not read the wall clock",
 	Run: runObsWallClock,
 }
 
@@ -45,16 +52,14 @@ func runObsWallClock(pass *analysis.Pass) (interface{}, error) {
 			}
 		}
 	}
-	if len(observers) == 0 {
-		return nil, nil
-	}
-
 	// Pass 2: every method of an observer type (not just Emit — helpers
-	// feed the same event stream) is wall-clock-free.
+	// feed the same event stream) is wall-clock-free, and so is every
+	// snapshot builder (a function whose results include an
+	// internal/inspect view type).
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Body == nil {
+			if !ok || fd.Body == nil {
 				continue
 			}
 			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
@@ -65,14 +70,89 @@ func runObsWallClock(pass *analysis.Pass) (interface{}, error) {
 			if !ok {
 				continue
 			}
-			tn := recvTypeName(sig)
-			if tn == nil || !observers[tn] {
+			if tn := recvTypeName(sig); tn != nil && observers[tn] {
+				checkObsMethodBody(pass, tn, fd)
 				continue
 			}
-			checkObsMethodBody(pass, tn, fd)
+			if returnsInspectView(sig) {
+				checkSnapshotBody(pass, fd)
+			}
 		}
 	}
 	return nil, nil
+}
+
+// returnsInspectView reports whether any result of sig, unwrapping
+// pointers, slices and arrays, is a named type defined in a package
+// whose import path ends in internal/inspect.
+func returnsInspectView(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		for {
+			switch u := t.(type) {
+			case *types.Pointer:
+				t = u.Elem()
+				continue
+			case *types.Slice:
+				t = u.Elem()
+				continue
+			case *types.Array:
+				t = u.Elem()
+				continue
+			}
+			break
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/inspect") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSnapshotBody flags wall-clock reads in an inspect-view builder.
+func checkSnapshotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := wallClockCall(pass, call)
+		if fn == "" {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"time.%s in %s, which builds inspect views: snapshots carry "+
+				"simulated time only (compute wall-clock rates in the serving layer)",
+			fn, fd.Name.Name)
+		return true
+	})
+}
+
+// wallClockCall returns the name of the package-level time function
+// (Now, Since, Until) the call invokes, or "".
+func wallClockCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "" // methods on time.Time values are fine
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+		return fn.Name()
+	}
+	return ""
 }
 
 func checkObsMethodBody(pass *analysis.Pass, tn *types.TypeName, fd *ast.FuncDecl) {
@@ -81,23 +161,11 @@ func checkObsMethodBody(pass *analysis.Pass, tn *types.TypeName, fd *ast.FuncDec
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
-			return true
-		}
-		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-			return true // methods on time.Time values are fine
-		}
-		switch fn.Name() {
-		case "Now", "Since", "Until":
+		if fn := wallClockCall(pass, call); fn != "" {
 			pass.Reportf(call.Pos(),
 				"time.%s in method %s.%s of an Observer implementation: "+
 					"events carry simulated time only",
-				fn.Name(), tn.Name(), fd.Name.Name)
+				fn, tn.Name(), fd.Name.Name)
 		}
 		return true
 	})

@@ -1,0 +1,47 @@
+// Fixture for the obswallclock analyzer's snapshot-builder rule: a
+// function whose results include a type from internal/inspect builds
+// live-inspection views and must not read the wall clock — snapshots
+// carry simulated time only. Functions without inspect result types are
+// out of scope here.
+package fixture
+
+import (
+	"time"
+
+	"coma/internal/inspect"
+)
+
+// snapshot builds a summary view and stamps it with the wall clock:
+// flagged.
+func snapshot(now int64) inspect.SummaryView {
+	sv := inspect.SummaryView{SimCycles: now}
+	sv.Events = time.Now().UnixMilli() // want `time.Now in snapshot, which builds inspect views`
+	return sv
+}
+
+// sample returns a pointer result; the pointer is unwrapped: flagged.
+func sample(started time.Time) *inspect.Sample {
+	s := &inspect.Sample{}
+	s.Summary.SimCycles = int64(time.Since(started)) // want `time.Since in sample, which builds inspect views`
+	return s
+}
+
+// nodes returns a slice of views; the element type is unwrapped: flagged.
+func nodes() ([]inspect.NodeView, error) {
+	if time.Until(time.Time{}) < 0 { // want `time.Until in nodes, which builds inspect views`
+		return nil, nil
+	}
+	return []inspect.NodeView{{Node: 0}}, nil
+}
+
+// clean builds a view from simulated time only: no findings.
+func clean(now int64, events int64) inspect.SummaryView {
+	return inspect.SummaryView{SimCycles: now, Events: events}
+}
+
+// servingLayer returns no inspect types, so its wall-clock use is out
+// of scope for this analyzer (rates computed at scrape time are the
+// serving layer's job).
+func servingLayer(prev time.Time, events int64) float64 {
+	return float64(events) / time.Since(prev).Seconds()
+}

@@ -194,6 +194,27 @@ func (n *Network) Stats() Stats { return n.stats }
 // subnet (sent but not yet delivered, loopback included).
 func (n *Network) Inflight(s Subnet) int64 { return n.inflight[s] }
 
+// NIBacklog reports how many cycles the node's injection ports on
+// subnet s remain busy past now (0 = idle). Read-only; used by the
+// live-inspection layer at engine safe points.
+func (n *Network) NIBacklog(s Subnet, node proto.NodeID, now int64) (send, recv int64) {
+	send = max(0, n.niSendFree[s][node]-now)
+	recv = max(0, n.niRecvFree[s][node]-now)
+	return send, recv
+}
+
+// BusyLinks counts the directed links of subnet s still occupied at
+// now. Read-only; used by the live-inspection layer.
+func (n *Network) BusyLinks(s Subnet, now int64) int {
+	busy := 0
+	for _, free := range n.linkFree[s] {
+		if free > now {
+			busy++
+		}
+	}
+	return busy
+}
+
 // SetHandler installs the delivery callback for a node.
 func (n *Network) SetHandler(node proto.NodeID, h Handler) {
 	n.handlers[node] = h

@@ -80,10 +80,12 @@ const (
 	// established.
 	PreCommit2
 
-	numStates
+	// NumStates bounds the enum; exported so observers can size
+	// fixed-width per-state tallies (obs.StateCounts) without a map.
+	NumStates
 )
 
-var stateNames = [numStates]string{
+var stateNames = [NumStates]string{
 	"Invalid", "Shared", "MasterShared", "Exclusive",
 	"SharedCK1", "SharedCK2", "InvCK1", "InvCK2", "PreCommit1", "PreCommit2",
 }

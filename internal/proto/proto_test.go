@@ -41,7 +41,7 @@ func TestStatePredicates(t *testing.T) {
 }
 
 func TestReplaceableIsExactlyInvalidAndShared(t *testing.T) {
-	for st := Invalid; st < numStates; st++ {
+	for st := Invalid; st < NumStates; st++ {
 		want := st == Invalid || st == Shared
 		if st.Replaceable() != want {
 			t.Errorf("%v.Replaceable() = %v", st, st.Replaceable())
@@ -50,7 +50,7 @@ func TestReplaceableIsExactlyInvalidAndShared(t *testing.T) {
 }
 
 func TestModifiedIsExactlyMasters(t *testing.T) {
-	for st := Invalid; st < numStates; st++ {
+	for st := Invalid; st < NumStates; st++ {
 		want := st == Exclusive || st == MasterShared
 		if st.Modified() != want {
 			t.Errorf("%v.Modified() = %v", st, st.Modified())
@@ -84,7 +84,7 @@ func TestPartnerPanicsForNonRecovery(t *testing.T) {
 
 func TestStateStringsDistinct(t *testing.T) {
 	seen := map[string]bool{}
-	for st := Invalid; st < numStates; st++ {
+	for st := Invalid; st < NumStates; st++ {
 		s := st.String()
 		if s == "" || strings.HasPrefix(s, "State(") {
 			t.Errorf("state %d has no name", st)

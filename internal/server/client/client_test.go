@@ -29,7 +29,7 @@ func spec(seed uint64) server.JobSpec {
 }
 
 func TestRunDecodesResult(t *testing.T) {
-	_, c := testDaemon(t, server.Options{Workers: 1, Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+	_, c := testDaemon(t, server.Options{Workers: 1, Runner: func(id config.RunIdentity, _ server.RunOptions) (*stats.Run, error) {
 		return &stats.Run{Cycles: 777, Protocol: id.Protocol, Nodes: id.Arch.Nodes}, nil
 	}})
 	run, st, err := c.Run(context.Background(), spec(1))
@@ -48,7 +48,7 @@ func TestRunDecodesResult(t *testing.T) {
 }
 
 func TestRunSurfacesFailure(t *testing.T) {
-	_, c := testDaemon(t, server.Options{Workers: 1, Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+	_, c := testDaemon(t, server.Options{Workers: 1, Runner: func(id config.RunIdentity, _ server.RunOptions) (*stats.Run, error) {
 		return nil, context.DeadlineExceeded
 	}})
 	_, st, err := c.Run(context.Background(), spec(1))
@@ -61,8 +61,8 @@ func TestRunSurfacesFailure(t *testing.T) {
 }
 
 func TestRunStreamingForwardsEvents(t *testing.T) {
-	_, c := testDaemon(t, server.Options{Workers: 1, Runner: func(id config.RunIdentity, observer obs.Observer) (*stats.Run, error) {
-		observer.Emit(obs.Event{Kind: obs.KCommitted, Time: 42, B: 1})
+	_, c := testDaemon(t, server.Options{Workers: 1, Runner: func(id config.RunIdentity, opts server.RunOptions) (*stats.Run, error) {
+		opts.Observer.Emit(obs.Event{Kind: obs.KCommitted, Time: 42, B: 1})
 		return &stats.Run{Cycles: 1}, nil
 	}})
 	var events []server.JobEvent
@@ -94,7 +94,7 @@ func TestSubmitRetriesAfter429(t *testing.T) {
 	var runs atomic.Int64
 	_, c := testDaemon(t, server.Options{
 		Workers: 1, QueueDepth: 1,
-		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+		Runner: func(id config.RunIdentity, _ server.RunOptions) (*stats.Run, error) {
 			runs.Add(1)
 			<-gate
 			return &stats.Run{Cycles: 9}, nil
@@ -130,7 +130,7 @@ func TestSubmitRetriesAfter429(t *testing.T) {
 }
 
 func TestHealthAndMetrics(t *testing.T) {
-	_, c := testDaemon(t, server.Options{Workers: 3, Revision: "abc", Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+	_, c := testDaemon(t, server.Options{Workers: 3, Revision: "abc", Runner: func(id config.RunIdentity, _ server.RunOptions) (*stats.Run, error) {
 		return &stats.Run{}, nil
 	}})
 	h, err := c.Health(context.Background())
@@ -150,7 +150,7 @@ func TestHealthAndMetrics(t *testing.T) {
 }
 
 func TestResultMatchesInlinePayload(t *testing.T) {
-	_, c := testDaemon(t, server.Options{Workers: 1, Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+	_, c := testDaemon(t, server.Options{Workers: 1, Runner: func(id config.RunIdentity, _ server.RunOptions) (*stats.Run, error) {
 		return &stats.Run{Cycles: 5}, nil
 	}})
 	_, st, err := c.Run(context.Background(), spec(4))

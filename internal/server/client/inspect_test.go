@@ -1,0 +1,82 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/url"
+	"testing"
+
+	"coma/internal/config"
+	"coma/internal/inspect"
+	"coma/internal/server"
+	"coma/internal/stats"
+)
+
+// TestInspectMethods drives the typed inspection client against a real
+// (scaled-down) simulation: list jobs, query views while paused, then
+// follow the sample stream to the terminal sample.
+func TestInspectMethods(t *testing.T) {
+	ctlCh := make(chan *inspect.Controller, 1)
+	runner := func(id config.RunIdentity, opts server.RunOptions) (*stats.Run, error) {
+		inner := opts.Inspect
+		opts.Inspect = func(ctl *inspect.Controller) {
+			if inner != nil {
+				inner(ctl)
+			}
+			ctlCh <- ctl
+		}
+		return server.SimRunner(id, opts)
+	}
+	_, c := testDaemon(t, server.Options{Workers: 1, Runner: runner})
+	ctx := context.Background()
+
+	sp := spec(9)
+	sp.Scale = 0.05
+	st, err := c.Submit(ctx, sp, false)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctl := <-ctlCh
+	ctl.Pause()
+
+	list, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(list.Jobs) != 1 || list.Running != 1 {
+		t.Errorf("Jobs = %d jobs, %d running; want 1, 1", len(list.Jobs), list.Running)
+	}
+
+	sum, err := c.InspectSummary(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("InspectSummary: %v", err)
+	}
+	if sum.Nodes != 2 || sum.Finished {
+		t.Errorf("summary = %+v, want 2 nodes, not finished", sum)
+	}
+
+	raw, err := c.Inspect(ctx, st.ID, "line", url.Values{"item": {"3"}})
+	if err != nil {
+		t.Fatalf("Inspect line: %v", err)
+	}
+	var lv inspect.LineView
+	if err := json.Unmarshal(raw, &lv); err != nil {
+		t.Fatalf("decoding line view: %v", err)
+	}
+	if lv.Item != 3 {
+		t.Errorf("line item = %d, want 3", lv.Item)
+	}
+
+	ctl.Resume()
+	var last inspect.Sample
+	if err := c.InspectStream(ctx, st.ID, func(s inspect.Sample) bool {
+		last = s
+		return true
+	}); err != nil {
+		t.Fatalf("InspectStream: %v", err)
+	}
+	if !last.Summary.Finished || last.Seq == 0 {
+		t.Errorf("stream's last sample = seq %d finished %v, want terminal",
+			last.Seq, last.Summary.Finished)
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"coma/internal/config"
-	"coma/internal/obs"
 	"coma/internal/stats"
 )
 
@@ -27,7 +26,7 @@ func TestConcurrentIdenticalSubmissionsRunOnce(t *testing.T) {
 	var startOnce sync.Once
 	_, ts := newTestServer(t, Options{
 		Workers: 4, QueueDepth: 64,
-		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+		Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 			runs.Add(1)
 			startOnce.Do(func() { close(started) })
 			<-release // hold the run so every submission arrives in-flight
@@ -97,7 +96,7 @@ func TestConcurrentIdenticalSubmissionsRunOnce(t *testing.T) {
 // in the run identity separates jobs.
 func TestDistinctSeedsDoNotCoalesce(t *testing.T) {
 	var runs atomic.Int64
-	_, ts := newTestServer(t, Options{Workers: 4, Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+	_, ts := newTestServer(t, Options{Workers: 4, Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 		runs.Add(1)
 		return fakeRun(id), nil
 	}})
@@ -127,7 +126,7 @@ func TestDistinctSeedsDoNotCoalesce(t *testing.T) {
 func TestPersistentStoreServesAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
 	var runs atomic.Int64
-	runner := func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+	runner := func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 		runs.Add(1)
 		return fakeRun(id), nil
 	}

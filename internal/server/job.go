@@ -8,6 +8,7 @@ import (
 
 	"coma/internal/config"
 	"coma/internal/fault"
+	"coma/internal/inspect"
 	"coma/internal/proto"
 	"coma/internal/workload"
 )
@@ -255,6 +256,18 @@ type job struct {
 	events []JobEvent
 	wake   chan struct{} // closed and replaced on every event append
 	done   chan struct{} // closed on terminal transition
+
+	// ctl is the live-inspection controller while the job is running
+	// (set by the runner callback, cleared on completion). Handlers
+	// snapshot it under the server mutex and then talk to it directly —
+	// the controller has its own synchronisation.
+	ctl *inspect.Controller
+
+	// Per-job /metrics scrape state: the event count and wall time of
+	// the previous scrape, for the events-per-second gauge. Wall clock
+	// is legal here — this is the serving layer, not the simulator.
+	scrapeAt     int64 // unix milliseconds; 0 until first scrape
+	scrapeEvents int64
 }
 
 // status snapshots the job for a response; the caller holds the server

@@ -97,8 +97,9 @@ func (m *metrics) hitRatio() float64 {
 }
 
 // write emits the Prometheus text exposition. Gauges owned by the
-// scheduler (queue depth, in-flight, store size) are passed in.
-func (m *metrics) write(w io.Writer, queueDepth, inflight, storeLen int) {
+// scheduler (queue depth, in-flight, store size) and the per-running-job
+// inspection gauges are passed in.
+func (m *metrics) write(w io.Writer, queueDepth, inflight, storeLen int, jobs []jobGauge) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -139,6 +140,31 @@ func (m *metrics) write(w io.Writer, queueDepth, inflight, storeLen int) {
 	for k := 0; k < obs.NumKinds; k++ {
 		fmt.Fprintf(w, "coma_obs_events_total{kind=%q} %d\n",
 			obs.Kind(k).String(), atomic.LoadInt64(&m.obsEvents[k]))
+	}
+
+	// Per-running-job gauges, sampled from each job's live-inspection
+	// controller at scrape time. Families are emitted even with no
+	// running jobs so scrapers see stable metadata.
+	fmt.Fprintf(w, "# HELP coma_job_sim_cycles Simulated cycles reached by each running job.\n")
+	fmt.Fprintf(w, "# TYPE coma_job_sim_cycles gauge\n")
+	for _, g := range jobs {
+		fmt.Fprintf(w, "coma_job_sim_cycles{job=%q} %d\n", g.id, g.simCycles)
+	}
+	fmt.Fprintf(w, "# HELP coma_job_events Simulator events dispatched by each running job.\n")
+	fmt.Fprintf(w, "# TYPE coma_job_events gauge\n")
+	for _, g := range jobs {
+		fmt.Fprintf(w, "coma_job_events{job=%q} %d\n", g.id, g.events)
+	}
+	fmt.Fprintf(w, "# HELP coma_job_events_per_second Event dispatch rate since the previous scrape (wall clock).\n")
+	fmt.Fprintf(w, "# TYPE coma_job_events_per_second gauge\n")
+	for _, g := range jobs {
+		fmt.Fprintf(w, "coma_job_events_per_second{job=%q} %g\n", g.id, g.eventsPerSec)
+	}
+	fmt.Fprintf(w, "# HELP coma_queue_depth In-flight mesh messages per subnet for each running job.\n")
+	fmt.Fprintf(w, "# TYPE coma_queue_depth gauge\n")
+	for _, g := range jobs {
+		fmt.Fprintf(w, "coma_queue_depth{job=%q,subnet=\"request\"} %d\n", g.id, g.reqDepth)
+		fmt.Fprintf(w, "coma_queue_depth{job=%q,subnet=\"reply\"} %d\n", g.id, g.repDepth)
 	}
 
 	m.queueWait.write(w, "comad_queue_wait_seconds", "Wall seconds jobs spent queued.")

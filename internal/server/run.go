@@ -6,6 +6,7 @@ import (
 
 	"coma/internal/coherence"
 	"coma/internal/config"
+	"coma/internal/inspect"
 	"coma/internal/machine"
 	"coma/internal/obs"
 	"coma/internal/proto"
@@ -13,15 +14,37 @@ import (
 	"coma/internal/workload"
 )
 
+// RunOptions carries the per-run attachments a Runner should honour.
+// None of them influence the result: the observability layer is
+// stats-neutral and the inspection layer answers queries at engine safe
+// points, so an inspected run is byte-identical to an uninspected one.
+type RunOptions struct {
+	// Observer receives the run's observability events (nil: none).
+	Observer obs.Observer
+	// Inspect, when non-nil, is called with the run's live-inspection
+	// controller before the simulation starts; the runner guarantees
+	// Finish is called on the controller when the run ends, releasing
+	// any blocked clients.
+	Inspect func(*inspect.Controller)
+	// SampleEvery is the inspection stream's sampling period in
+	// simulated cycles (0: a sensible default).
+	SampleEvery int64
+}
+
+// DefaultSampleEvery is the inspection sampling period used when
+// RunOptions.SampleEvery is zero.
+const DefaultSampleEvery = 25_000
+
 // Runner executes one run identity and returns its result. The daemon's
 // production runner is SimRunner; tests substitute counting, slow or
 // failing runners to drive the scheduler without simulating.
-type Runner func(id config.RunIdentity, observer obs.Observer) (*stats.Run, error)
+type Runner func(id config.RunIdentity, opts RunOptions) (*stats.Run, error)
 
-// SimRunner executes the identity on an in-process simulated machine —
+// BuildMachine assembles the simulated machine for one run identity —
 // the exact inverse of JobSpec.Identity composed with the same
-// machine.Config assembly the coma package and the experiment suite use.
-func SimRunner(id config.RunIdentity, observer obs.Observer) (*stats.Run, error) {
+// machine.Config assembly the coma package and the experiment suite
+// use. Shared by SimRunner and the comasim REPL.
+func BuildMachine(id config.RunIdentity, observer obs.Observer) (*machine.Machine, error) {
 	app, ok := workload.ByName(id.App)
 	if !ok {
 		return nil, fmt.Errorf("server: unknown app %q", id.App)
@@ -46,7 +69,7 @@ func SimRunner(id config.RunIdentity, observer obs.Observer) (*stats.Run, error)
 	if maxCycles == 0 {
 		maxCycles = 1 << 40
 	}
-	m, err := machine.New(machine.Config{
+	return machine.New(machine.Config{
 		Arch:     id.Arch,
 		Protocol: protocol,
 		Opts: coherence.Options{
@@ -64,8 +87,25 @@ func SimRunner(id config.RunIdentity, observer obs.Observer) (*stats.Run, error)
 		MaxCycles:          maxCycles,
 		Obs:                observer,
 	})
+}
+
+// SimRunner executes the identity on an in-process simulated machine.
+func SimRunner(id config.RunIdentity, opts RunOptions) (*stats.Run, error) {
+	m, err := BuildMachine(id, opts.Observer)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Inspect != nil {
+		sampleEvery := opts.SampleEvery
+		if sampleEvery <= 0 {
+			sampleEvery = DefaultSampleEvery
+		}
+		ctl := m.NewInspector(sampleEvery)
+		// Finish releases paused/stepping/querying clients even when the
+		// run errors out; without it a REPL or HTTP handler would block
+		// on a safe point that never comes.
+		defer ctl.Finish()
+		opts.Inspect(ctl)
 	}
 	return m.Run()
 }

@@ -35,6 +35,7 @@ import (
 
 	"coma/internal/config"
 	"coma/internal/experiments/runner"
+	"coma/internal/inspect"
 )
 
 // Options configures a Server.
@@ -107,6 +108,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/inspect", s.handleInspect)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/inspect/stream", s.handleInspectStream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -272,7 +275,18 @@ func (s *Server) execute(j *job) {
 			s.mu.Unlock()
 		}
 	}
-	res, err := s.runner(j.identity, observer)
+	opts := RunOptions{
+		Observer: observer,
+		// Every job gets a live-inspection controller: the /inspect
+		// endpoints and the per-job /metrics gauges read through it, and
+		// an idle controller costs one predictable branch per event.
+		Inspect: func(ctl *inspect.Controller) {
+			s.mu.Lock()
+			j.ctl = ctl
+			s.mu.Unlock()
+		},
+	}
+	res, err := s.runner(j.identity, opts)
 	var payload []byte
 	if err == nil {
 		payload, err = marshalResult(res)
@@ -284,6 +298,10 @@ func (s *Server) execute(j *job) {
 
 	s.mu.Lock()
 	s.running--
+	// Detach the controller: inspection targets running jobs (the
+	// machine is released with it; results are served from the store).
+	// Streams already attached drain through the controller's Done.
+	j.ctl = nil
 	j.finishedAt = time.Now()
 	if err != nil {
 		j.errMsg = err.Error()
@@ -554,10 +572,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	queued, running := s.queued, s.running
+	gauges := s.jobGaugesLocked(time.Now().UnixMilli())
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.countHTTP(http.StatusOK)
-	s.met.write(w, queued, running, s.store.Len())
+	s.met.write(w, queued, running, s.store.Len(), gauges)
 }
 
 func (s *Server) respondJSON(w http.ResponseWriter, code int, v any) {

@@ -61,7 +61,7 @@ func postJob(t *testing.T, ts *httptest.Server, body string, wait bool) (*http.R
 }
 
 func TestSubmitValidation(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1, Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+	_, ts := newTestServer(t, Options{Workers: 1, Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 		return fakeRun(id), nil
 	}})
 	cases := []struct {
@@ -105,7 +105,7 @@ func TestQueueFullGets429WithRetryAfter(t *testing.T) {
 	gate := make(chan struct{})
 	_, ts := newTestServer(t, Options{
 		Workers: 1, QueueDepth: 1,
-		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+		Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 			<-gate
 			return fakeRun(id), nil
 		},
@@ -160,11 +160,11 @@ func waitForState(t *testing.T, ts *httptest.Server, id string, want State) JobS
 func TestSSEEventOrder(t *testing.T) {
 	_, ts := newTestServer(t, Options{
 		Workers: 1,
-		Runner: func(id config.RunIdentity, observer obs.Observer) (*stats.Run, error) {
+		Runner: func(id config.RunIdentity, opts RunOptions) (*stats.Run, error) {
 			// Drive the progress bridge like the simulator would.
-			observer.Emit(obs.Event{Kind: obs.KRoundBegin, Time: 100, B: 1})
-			observer.Emit(obs.Event{Kind: obs.KReadFill, Time: 150}) // hot-path: dropped
-			observer.Emit(obs.Event{Kind: obs.KCommitted, Time: 200, B: 1})
+			opts.Observer.Emit(obs.Event{Kind: obs.KRoundBegin, Time: 100, B: 1})
+			opts.Observer.Emit(obs.Event{Kind: obs.KReadFill, Time: 150}) // hot-path: dropped
+			opts.Observer.Emit(obs.Event{Kind: obs.KCommitted, Time: 200, B: 1})
 			return fakeRun(id), nil
 		},
 	})
@@ -232,7 +232,7 @@ func TestCancelQueuedJobAndRefuseRunning(t *testing.T) {
 	gate := make(chan struct{})
 	_, ts := newTestServer(t, Options{
 		Workers: 1, QueueDepth: 4,
-		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+		Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 			<-gate
 			return fakeRun(id), nil
 		},
@@ -266,7 +266,7 @@ func TestQueueDeadlineFailsStaleJob(t *testing.T) {
 	gate := make(chan struct{})
 	_, ts := newTestServer(t, Options{
 		Workers: 1, QueueDepth: 4,
-		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+		Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 			<-gate
 			return fakeRun(id), nil
 		},
@@ -286,7 +286,7 @@ func TestQueueDeadlineFailsStaleJob(t *testing.T) {
 }
 
 func TestResultEndpointServesStoredBytes(t *testing.T) {
-	_, ts := newTestServer(t, Options{Workers: 1, Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+	_, ts := newTestServer(t, Options{Workers: 1, Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 		return fakeRun(id), nil
 	}})
 	_, st := postJob(t, ts, specJSON(7), true)
@@ -323,13 +323,13 @@ func TestResultEndpointServesStoredBytes(t *testing.T) {
 
 func TestMetricsAndHealthz(t *testing.T) {
 	var runs atomic.Int64
-	_, ts := newTestServer(t, Options{Workers: 2, Runner: func(id config.RunIdentity, observer obs.Observer) (*stats.Run, error) {
+	_, ts := newTestServer(t, Options{Workers: 2, Runner: func(id config.RunIdentity, opts RunOptions) (*stats.Run, error) {
 		runs.Add(1)
 		// The bridge is installed even without progress streaming, so
 		// these must surface as coma_obs_events_total below.
-		observer.Emit(obs.Event{Kind: obs.KReadFill, Time: 10})
-		observer.Emit(obs.Event{Kind: obs.KReadFill, Time: 20})
-		observer.Emit(obs.Event{Kind: obs.KTxnBegin, Time: 30})
+		opts.Observer.Emit(obs.Event{Kind: obs.KReadFill, Time: 10})
+		opts.Observer.Emit(obs.Event{Kind: obs.KReadFill, Time: 20})
+		opts.Observer.Emit(obs.Event{Kind: obs.KTxnBegin, Time: 30})
 		return fakeRun(id), nil
 	}})
 	postJob(t, ts, specJSON(1), true)

@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"coma/internal/config"
-	"coma/internal/obs"
 	"coma/internal/stats"
 )
 
@@ -21,7 +20,7 @@ func TestDrainCompletesAcceptedWork(t *testing.T) {
 	release := make(chan struct{})
 	s, ts := newTestServer(t, Options{
 		Workers: 1, QueueDepth: 8,
-		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+		Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 			<-release
 			return fakeRun(id), nil
 		},
@@ -97,7 +96,7 @@ func TestDrainHonoursContext(t *testing.T) {
 	defer close(release)
 	s, ts := newTestServer(t, Options{
 		Workers: 1,
-		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+		Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 			<-release
 			return fakeRun(id), nil
 		},
@@ -121,7 +120,7 @@ func TestAbandonedQueuedJobIsCancelled(t *testing.T) {
 	var ran atomic.Bool
 	s, ts := newTestServer(t, Options{
 		Workers: 1, QueueDepth: 8,
-		Runner: func(id config.RunIdentity, _ obs.Observer) (*stats.Run, error) {
+		Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
 			if id.Seed == 2 {
 				ran.Store(true)
 			}

@@ -55,6 +55,15 @@ type Engine struct {
 	shutdown bool
 
 	events int64 // total events dispatched, for diagnostics
+
+	// safePoint, when set, runs before every event dispatch, on whichever
+	// goroutine holds the baton. The engine is quiescent at that instant —
+	// no callback is mid-flight — so the hook may read any simulator state
+	// reachable from the engine, but it must not schedule events, wake
+	// processes, or mutate state: the dispatch sequence of an inspected
+	// run must be identical to an uninspected one. Nil (the default) costs
+	// one predictable branch per event.
+	safePoint func(now int64)
 }
 
 // EventSink receives typed events scheduled with AtSink/AfterSink. The
@@ -163,6 +172,24 @@ func (e *Engine) AfterSink(d int64, sink EventSink, arg int64) {
 // Stop makes Run return after the currently dispatching event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetSafePointHook installs fn to run at every dispatch safe point —
+// between events, on the baton-holding goroutine, with the engine
+// quiescent. The hook must be read-only with respect to simulation
+// state (see the safePoint field); it is how the live-inspection layer
+// (internal/inspect) answers queries without perturbing dispatch order.
+// A nil fn removes the hook. The number of safe points is a pure
+// function of the event sequence, so hook invocations themselves are
+// deterministic.
+func (e *Engine) SetSafePointHook(fn func(now int64)) { e.safePoint = fn }
+
+// QueueStats reports the pending-event population by residence: wheel
+// (near-future slots), overflow (far-future heap), and nowq (the
+// same-cycle FIFO). Read-only; safe to call from a safe-point hook.
+func (e *Engine) QueueStats() (wheel, overflow, nowq int) {
+	wheel, overflow = e.queue.stats()
+	return wheel, overflow, len(e.nowq) - e.nowqHead
+}
+
 // ErrNested is returned by Run when called re-entrantly.
 var ErrNested = errors.New("sim: Run called while already running")
 
@@ -217,6 +244,9 @@ const (
 // returns control to the caller's user code directly.
 func (e *Engine) advance(self *Process) advResult {
 	for {
+		if e.safePoint != nil {
+			e.safePoint(e.now)
+		}
 		ev, ok := e.next()
 		if !ok {
 			return advOver

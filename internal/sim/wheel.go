@@ -42,6 +42,10 @@ type eventQueue struct {
 
 func (q *eventQueue) len() int { return q.count + q.overflow.len() }
 
+// stats reports the event population by residence: wheel slots vs the
+// far-future overflow heap. Read-only.
+func (q *eventQueue) stats() (wheel, overflow int) { return q.count, q.overflow.len() }
+
 // push files one event. The caller guarantees ev.time >= base (the
 // engine never schedules into the past).
 func (q *eventQueue) push(ev event) {
