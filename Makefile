@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint comalint staticcheck bench bench-json bench-compare smoke-serve smoke-inspect model check
+.PHONY: all build test race vet lint comalint staticcheck bench bench-json bench-compare smoke-serve smoke-inspect smoke-cluster model check
 
 all: check
 
@@ -67,6 +67,13 @@ smoke-serve:
 # identity (see README §Live inspection).
 smoke-inspect:
 	bash scripts/smoke-inspect.sh
+
+# smoke-cluster boots a comad coordinator plus comanode workers, kills
+# one mid-campaign, and asserts the fault-tolerance contract: lease
+# expiry + requeue in /metrics, campaign tables byte-identical to a
+# single-process run, graceful drain (see README §Cluster).
+smoke-cluster:
+	bash scripts/smoke-cluster.sh
 
 # model runs the protocol-conformance gate: static extraction over both
 # engines, exhaustive model checking, the staged runtime edge suite, and

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,8 +31,11 @@ import (
 	"syscall"
 	"time"
 
+	"coma/internal/cluster"
+	"coma/internal/config"
 	"coma/internal/server"
 	"coma/internal/server/client"
+	"coma/internal/stats"
 )
 
 func main() {
@@ -65,6 +69,10 @@ func serve(args []string) int {
 		revision     = fs.String("revision", "", "code revision for cache keys (default: build info)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Minute, "max time to finish accepted jobs on shutdown")
 		quiet        = fs.Bool("quiet", false, "suppress per-job log lines")
+		clusterMode  = fs.Bool("cluster", false, "coordinator mode: dispatch jobs to comanode workers instead of simulating in-process")
+		leaseTTL     = fs.Duration("lease-ttl", 0, "cluster: worker liveness window before leases requeue (0: 15s)")
+		heartbeat    = fs.Duration("heartbeat", 0, "cluster: heartbeat period advertised to workers (0: lease-ttl/3)")
+		maxRequeues  = fs.Int("max-requeues", 0, "cluster: lease expiries a job survives before dead-letter (0: 3)")
 	)
 	fs.Parse(args)
 
@@ -78,7 +86,9 @@ func serve(args []string) int {
 	s, err := server.New(server.Options{
 		Workers: *workers, QueueDepth: *queue,
 		Revision: *revision, CacheDir: *cacheDir,
-		Logf: logf,
+		Logf:    logf,
+		Cluster: *clusterMode, LeaseTTL: *leaseTTL,
+		HeartbeatEvery: *heartbeat, MaxRequeues: *maxRequeues,
 	})
 	if err != nil {
 		log.Printf("comad: %v", err)
@@ -91,8 +101,13 @@ func serve(args []string) int {
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	log.Printf("comad: serving on %s (%d workers, queue %d, revision %s)",
-		*addr, s.Workers(), *queue, short(*revision))
+	if *clusterMode {
+		log.Printf("comad: coordinating on %s (cluster mode, queue %d, revision %s) — waiting for comanode workers",
+			*addr, *queue, short(*revision))
+	} else {
+		log.Printf("comad: serving on %s (%d workers, queue %d, revision %s)",
+			*addr, s.Workers(), *queue, short(*revision))
+	}
 
 	select {
 	case err := <-errc:
@@ -160,11 +175,17 @@ func loadtest(args []string) int {
 		nodes        = fs.Int("nodes", 4, "machine size")
 		instructions = fs.Int64("instructions", 20_000, "per-processor instruction budget (cold jobs are real runs)")
 		hz           = fs.Float64("hz", 100, "recovery points per second")
+		clusterMode  = fs.Bool("cluster", false, "cluster scaling benchmark: in-process coordinator + worker fleets of 1, 2 and 4 (ignores -addr)")
+		clusterJobs  = fs.Int("cluster-jobs", 48, "cluster: cold jobs dispatched per fleet size")
+		serviceMS    = fs.Int("service-ms", 200, "cluster: surrogate per-job service time in ms (models a long simulation without needing one CPU per worker)")
 	)
 	fs.Parse(args)
 	if *jobs < 1 || *concurrency < 1 || *hot < 0 || *hot > 1 {
 		fmt.Fprintln(os.Stderr, "comad loadtest: bad flag values")
 		return 2
+	}
+	if *clusterMode {
+		return clusterLoadtest(*clusterJobs, *serviceMS, *app, *nodes, *instructions, *hz)
 	}
 
 	c := client.New(*addr)
@@ -192,12 +213,12 @@ func loadtest(args []string) int {
 	// The request mix is decided per index so any -concurrency gives the
 	// same hot/cold split; cold seeds start at 2 (1 is the hot seed).
 	var (
-		mu        sync.Mutex
-		hotLat    []float64
-		coldLat   []float64
-		failures  int
-		next      int
-		nextMu    sync.Mutex
+		mu           sync.Mutex
+		hotLat       []float64
+		coldLat      []float64
+		failures     int
+		next         int
+		nextMu       sync.Mutex
 		coldBoundary = int(*hot * 100)
 	)
 	take := func() (int, bool) {
@@ -263,6 +284,134 @@ func loadtest(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// clusterLoadtest measures dispatch-path scaling: for worker fleets of
+// 1, 2 and 4 it boots a fresh in-process coordinator plus that many
+// in-process agents and times how fast a batch of cold jobs drains.
+//
+// The workers run a surrogate runner — sleep for -service-ms, then a
+// tiny real simulation — so each job's wall time models a long
+// simulation while its CPU cost stays a small fraction of it. That is
+// deliberate: the benchmark demonstrates that the coordinator's
+// dispatch path (leases, heartbeats, completion) scales with fleet
+// size, and it must do so honestly on a single-CPU box where four
+// concurrent real simulations could never run 4x faster.
+func clusterLoadtest(jobs, serviceMS int, app string, nodes int, instructions int64, hz float64) int {
+	fmt.Printf("cluster scaling: %d cold jobs per fleet, %d ms surrogate service time per job\n", jobs, serviceMS)
+	var base float64
+	for _, workers := range []int{1, 2, 4} {
+		rate, err := runFleet(workers, jobs, serviceMS, app, nodes, instructions, hz)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comad loadtest: fleet of %d: %v\n", workers, err)
+			return 1
+		}
+		if base == 0 {
+			base = rate
+		}
+		fmt.Printf("  %d worker(s): %6.2f jobs/s  (%.2fx)\n", workers, rate, rate/base)
+	}
+	return 0
+}
+
+func runFleet(workers, jobs, serviceMS int, app string, nodes int, instructions int64, hz float64) (float64, error) {
+	s, err := server.New(server.Options{
+		Cluster:    true,
+		Revision:   "loadtest",
+		QueueDepth: jobs + 16,
+		LeaseTTL:   10 * time.Second,
+	})
+	if err != nil {
+		return 0, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	baseURL := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var agents sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		a := cluster.New(cluster.Config{
+			Coordinator: baseURL,
+			Name:        fmt.Sprintf("lt-%d", i),
+			Revision:    "loadtest",
+			Runner: func(id config.RunIdentity, opts server.RunOptions) (*stats.Run, error) {
+				time.Sleep(time.Duration(serviceMS) * time.Millisecond)
+				return server.SimRunner(id, opts)
+			},
+		})
+		agents.Add(1)
+		go func() {
+			defer agents.Done()
+			a.Run(ctx)
+		}()
+	}
+
+	c := client.New(baseURL)
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		h, err := c.Health(context.Background())
+		if err == nil && h.ClusterWorkers == workers {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("only %d of %d workers registered", h.ClusterWorkers, workers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var (
+		next   int
+		nextMu sync.Mutex
+		fail   error
+		failMu sync.Mutex
+	)
+	take := func() (int, bool) {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= jobs {
+			return 0, false
+		}
+		next++
+		return next - 1, true
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				_, _, err := c.Run(context.Background(), server.JobSpec{
+					App: app, Nodes: nodes, Protocol: "ecp",
+					Instructions: instructions, CheckpointHz: hz,
+					Seed: uint64(1 + i), // unique: every job is a real dispatch
+				})
+				if err != nil {
+					failMu.Lock()
+					fail = err
+					failMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	cancel()
+	agents.Wait()
+	if fail != nil {
+		return 0, fail
+	}
+	return float64(jobs) / wall, nil
 }
 
 // pctl returns the p-th percentile of a sorted sample, by rank.

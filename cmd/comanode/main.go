@@ -1,0 +1,119 @@
+// Command comanode is a comad cluster worker: it registers with a
+// coordinator (comad serve -cluster), heartbeats, leases jobs, runs
+// them on the in-process simulator and streams results and progress
+// back. See README §Cluster for topology and failure semantics.
+//
+//	comanode -coordinator http://coordinator:7700 -slots 2
+//
+// The process drains on SIGINT/SIGTERM: in-flight simulations finish
+// and complete, unstarted leases are returned to the coordinator, then
+// it exits 0. If the process dies abruptly instead, the coordinator
+// requeues its leases after one lease TTL — that is the cluster's
+// fault-tolerance path, not an error.
+//
+// A worker must be built from the same code revision as its
+// coordinator: results are cached under the coordinator's revision, so
+// registration is refused (HTTP 409) on a mismatch.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+
+	"coma/internal/cluster"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("comanode", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://localhost:7700", "coordinator base URL")
+		name        = fs.String("name", "", "worker name in coordinator listings (default: hostname)")
+		slots       = fs.Int("slots", 1, "simulations to run concurrently")
+		revision    = fs.String("revision", "", "code revision reported at registration (default: build info)")
+		heartbeat   = fs.Duration("heartbeat", 0, "heartbeat period (0: coordinator's suggestion)")
+		quiet       = fs.Bool("quiet", false, "suppress per-job log lines")
+	)
+	fs.Parse(args)
+
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = fmt.Sprintf("comanode-%d", os.Getpid())
+		}
+		*name = host
+	}
+	if *revision == "" {
+		*revision = buildRevision()
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("comanode: %v: draining (in-flight jobs finish, backlog returns)", sig)
+		cancel()
+	}()
+
+	a := cluster.New(cluster.Config{
+		Coordinator:    *coordinator,
+		Name:           *name,
+		Slots:          *slots,
+		Revision:       *revision,
+		HeartbeatEvery: *heartbeat,
+		Logf:           logf,
+	})
+	log.Printf("comanode: %s joining %s (%d slot(s), revision %s)",
+		*name, *coordinator, *slots, short(*revision))
+	if err := a.Run(ctx); err != nil {
+		log.Printf("comanode: %v", err)
+		return 1
+	}
+	log.Printf("comanode: drained, bye")
+	return 0
+}
+
+// buildRevision mirrors comad's: the vcs revision stamped into the
+// binary ("+dirty" when modified), or "dev" outside a stamped build.
+// Coordinator and workers built from the same tree therefore agree.
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+func short(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}

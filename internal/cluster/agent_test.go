@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"coma/internal/config"
+	"coma/internal/experiments"
+	"coma/internal/server"
+	"coma/internal/server/client"
+	"coma/internal/stats"
+	"coma/internal/workload"
+)
+
+// campaignParams is a laptop-scale campaign with enough distinct runs
+// (2 apps × (1 std + 2 ecp) = 6) to spread across a three-node cluster.
+func campaignParams() experiments.Params {
+	p := experiments.Bench()
+	p.TargetInstructions = 300_000
+	p.Freqs = []float64{200, 400}
+	p.NodeSweep = []int{9}
+	p.SweepHz = 400
+	p.Apps = []workload.Spec{workload.Water(), workload.Mp3d()}
+	return p
+}
+
+func renderFig3(t *testing.T, p experiments.Params) string {
+	t.Helper()
+	tb, err := experiments.NewSuite(p).Fig3()
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	return tb.String()
+}
+
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad value %q", name, rest)
+		}
+		return v
+	}
+	t.Fatalf("metric %s absent from scrape:\n%s", name, text)
+	return 0
+}
+
+// TestClusterCampaignSurvivesWorkerKill is the end-to-end
+// fault-tolerance contract of the cluster: a three-node cluster runs a
+// real campaign, one node is SIGKILL-equivalently killed while it holds
+// a leased job mid-simulation, the lease expires and requeues, the
+// survivors absorb the work — and the rendered tables are byte-for-byte
+// what a single-process run produces.
+func TestClusterCampaignSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cluster integration test")
+	}
+	serial := renderFig3(t, campaignParams()) // single-process baseline
+
+	const rev = "itest"
+	srv, err := server.New(server.Options{
+		Cluster:        true,
+		Revision:       rev,
+		LeaseTTL:       600 * time.Millisecond,
+		HeartbeatEvery: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The victim's runner signals the test when it starts a job, then
+	// blocks forever: its lease can only be freed by expiry.
+	started := make(chan struct{}, 1)
+	block := make(chan struct{})
+	defer close(block)
+	victim := New(Config{
+		Coordinator:    ts.URL,
+		Name:           "victim",
+		Slots:          1,
+		Prefetch:       -1, // hold exactly one lease
+		Revision:       rev,
+		HeartbeatEvery: 150 * time.Millisecond,
+		Runner: func(config.RunIdentity, server.RunOptions) (*stats.Run, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-block
+			return nil, errors.New("victim never finishes")
+		},
+	})
+	victimDone := make(chan error, 1)
+	go func() { victimDone <- victim.Run(ctx) }()
+
+	// The campaign fans out through the coordinator exactly as
+	// comabench -remote does.
+	cli := client.New(ts.URL)
+	p := campaignParams()
+	p.Remote = func(id config.RunIdentity) (*stats.Run, error) {
+		run, _, err := cli.Run(context.Background(), server.SpecForIdentity(id))
+		return run, err
+	}
+	type rendered struct {
+		table string
+		err   error
+	}
+	campaign := make(chan rendered, 1)
+	go func() {
+		tb, err := experiments.NewSuite(p).Fig3()
+		if err != nil {
+			campaign <- rendered{err: err}
+			return
+		}
+		campaign <- rendered{table: tb.String()}
+	}()
+
+	select {
+	case <-started:
+	case <-time.After(60 * time.Second):
+		t.Fatal("victim never started a job")
+	}
+	// Wait until a heartbeat has reported the job running, so the
+	// coordinator knows it is not a stealable backlog entry: the only
+	// way off the dead victim is lease expiry.
+	waitVictimRunning(t, ts.URL)
+	victim.Kill()
+
+	// Two healthy replacements (real simulator) absorb the queue and
+	// the requeued lease.
+	agentDone := make(chan error, 2)
+	for _, name := range []string{"healthy-1", "healthy-2"} {
+		a := New(Config{
+			Coordinator:    ts.URL,
+			Name:           name,
+			Slots:          1,
+			Revision:       rev,
+			HeartbeatEvery: 150 * time.Millisecond,
+		})
+		go func() { agentDone <- a.Run(ctx) }()
+	}
+
+	var got rendered
+	select {
+	case got = <-campaign:
+	case <-time.After(5 * time.Minute):
+		t.Fatal("campaign did not complete")
+	}
+	if got.err != nil {
+		t.Fatalf("remote campaign: %v", got.err)
+	}
+	if got.table != serial {
+		i := firstDiff(got.table, serial)
+		t.Fatalf("cluster table diverges from single-process at byte %d:\n cluster: %q\n serial:  %q",
+			i, excerpt(got.table, i), excerpt(serial, i))
+	}
+
+	// The fault was real: at least one lease expired and requeued, and
+	// the victim is registered dead.
+	text := scrapeMetrics(t, ts.URL)
+	if v := metricValue(t, text, "coma_cluster_lease_expiries_total"); v < 1 {
+		t.Errorf("lease expiries = %v, want >= 1", v)
+	}
+	if v := metricValue(t, text, "coma_cluster_requeues_total"); v < 1 {
+		t.Errorf("requeues = %v, want >= 1", v)
+	}
+	if v := metricValue(t, text, `coma_cluster_workers{state="dead"}`); v != 1 {
+		t.Errorf("dead workers = %v, want 1", v)
+	}
+	if v := metricValue(t, text, `coma_cluster_workers{state="active"}`); v != 2 {
+		t.Errorf("active workers = %v, want 2", v)
+	}
+
+	// Healthy agents drain cleanly.
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-agentDone:
+			if err != nil {
+				t.Errorf("healthy agent: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("healthy agent did not drain")
+		}
+	}
+}
+
+// waitVictimRunning polls the coordinator until the victim's lease is
+// marked running (heartbeat delivered).
+func waitVictimRunning(t *testing.T, base string) {
+	t.Helper()
+	cli := client.New(base)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		workers, _, err := cli.Workers(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workers {
+			if w.Name == "victim" && w.Running >= 1 {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("victim's job never reported running")
+}
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func excerpt(s string, at int) string {
+	lo, hi := at-40, at+40
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}
+
+// TestAgentRegisterRevisionMismatchAborts: an agent built from the
+// wrong code must fail fast, not retry forever.
+func TestAgentRegisterRevisionMismatchAborts(t *testing.T) {
+	srv, err := server.New(server.Options{Cluster: true, Revision: "good"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	a := New(Config{Coordinator: ts.URL, Name: "stale", Revision: "bad"})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = a.Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "refused registration") {
+		t.Fatalf("Run = %v, want refused-registration error", err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("agent retried a revision mismatch until the deadline instead of aborting")
+	}
+}
+
+// TestAgentGracefulDrainCompletesInflight: cancelling Run lets the
+// in-flight job finish and complete before deregistering.
+func TestAgentGracefulDrainCompletesInflight(t *testing.T) {
+	srv, err := server.New(server.Options{Cluster: true, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	a := New(Config{
+		Coordinator:    ts.URL,
+		Name:           "drainer",
+		HeartbeatEvery: 100 * time.Millisecond,
+		Runner: func(id config.RunIdentity, _ server.RunOptions) (*stats.Run, error) {
+			entered <- struct{}{}
+			<-release
+			return &stats.Run{Cycles: 99, Protocol: id.Protocol, Nodes: id.Arch.Nodes}, nil
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Run(ctx) }()
+
+	cli := client.New(ts.URL)
+	sub, err := cli.Submit(context.Background(), server.JobSpec{App: "mp3d", Nodes: 2, Protocol: "ecp", Seed: 5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(20 * time.Second):
+		t.Fatal("agent never started the job")
+	}
+
+	cancel() // drain begins while the job is mid-run
+	close(release)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("agent did not drain")
+	}
+
+	st, err := cli.Status(context.Background(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("after drain: job %s, want done (in-flight work must complete, not abandon)", st.State)
+	}
+	var run stats.Run
+	if err := json.Unmarshal(st.Result, &run); err != nil || run.Cycles != 99 {
+		t.Fatalf("result = %s / %v, want the drained worker's run", st.Result, err)
+	}
+}

@@ -52,7 +52,8 @@ type Params struct {
 	// follows worker scheduling, not render order.
 	Progress func(msg string)
 	// Workers bounds the number of simulations executed concurrently
-	// (0 means GOMAXPROCS; 1 is strictly serial). The rendered tables
+	// (0 means GOMAXPROCS, or 16 with Remote set — remote runs wait on
+	// I/O, not local CPU; 1 is strictly serial). The rendered tables
 	// are byte-identical for every worker count: each run owns a
 	// private sim.Engine and RNG streams derived only from the seed.
 	Workers int
@@ -174,6 +175,10 @@ type Suite struct {
 	events atomic.Int64
 }
 
+// remoteDefaultWorkers is the submission fan-out used when Params.Remote
+// is set and Workers is unspecified.
+const remoteDefaultWorkers = 16
+
 // NewSuite builds a suite for the parameters.
 func NewSuite(p Params) *Suite {
 	if p.Nodes == 0 {
@@ -181,7 +186,14 @@ func NewSuite(p Params) *Suite {
 	}
 	workers := p.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		if p.Remote != nil {
+			// Remote runs are I/O waits on the daemon, not local CPU:
+			// fan submissions out well past GOMAXPROCS (which is 1 on a
+			// small box and would serialise an entire cluster).
+			workers = remoteDefaultWorkers
+		} else {
+			workers = runtime.GOMAXPROCS(0)
+		}
 	}
 	return &Suite{P: p, pool: runner.New[string, *stats.Run](workers)}
 }

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
 
 	"coma/internal/coherence"
+	"coma/internal/config"
+	"coma/internal/stats"
 	"coma/internal/workload"
 )
 
@@ -148,5 +151,32 @@ func TestAllProducesEveryTable(t *testing.T) {
 				t.Errorf("table %s: row width %d vs %d columns", tb.ID, len(row), len(tb.Columns))
 			}
 		}
+	}
+}
+
+// TestRemoteDefaultsToWideFanout pins the submission-width rule for
+// remote campaigns: runs executed by a daemon (or cluster) are I/O
+// waits, not local CPU, so an unspecified Workers must fan out to
+// remoteDefaultWorkers instead of GOMAXPROCS — on a one-core box the
+// latter would serialise an entire worker fleet. An explicit Workers
+// still wins in both modes.
+func TestRemoteDefaultsToWideFanout(t *testing.T) {
+	remote := func(config.RunIdentity) (*stats.Run, error) { return nil, nil }
+
+	p := tiny()
+	p.Remote = remote
+	if got := NewSuite(p).pool.Workers(); got != remoteDefaultWorkers {
+		t.Errorf("remote suite fan-out = %d, want %d", got, remoteDefaultWorkers)
+	}
+
+	p.Workers = 3
+	if got := NewSuite(p).pool.Workers(); got != 3 {
+		t.Errorf("explicit Workers overridden: got %d, want 3", got)
+	}
+
+	local := tiny()
+	local.Workers = 0
+	if got := NewSuite(local).pool.Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("local suite fan-out = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
 	}
 }

@@ -59,6 +59,15 @@ func TestSimBlockingFlagsServerShapedCode(t *testing.T) {
 	analysistest.Run(t, analyzers.SimBlocking, "testdata/src/serverlike")
 }
 
+// TestSimBlockingFlagsClusterShapedCode does the same for the worker
+// agent's constructs (slot executor goroutines, lease-queue wait,
+// heartbeat ticker loop, backoff sleep, drain): the clusterlike fixture
+// reproduces them outside the allowlisted internal/cluster package and
+// every one is diagnosed.
+func TestSimBlockingFlagsClusterShapedCode(t *testing.T) {
+	analysistest.Run(t, analyzers.SimBlocking, "testdata/src/clusterlike")
+}
+
 // TestDeterminismFlagsTraceAnalysisShapedCode pins the reason
 // DeterminismScope treats internal/obs as a subtree: the txnviewlike
 // fixture reproduces the offline trace-checker's constructs (replay
@@ -81,6 +90,8 @@ func TestDeterminismScope(t *testing.T) {
 		"coma/internal/server":             false, // ConcurrencyAllowlist
 		"coma/internal/server/client":      false, // ConcurrencyAllowlist
 		"coma/internal/server/future":      true,  // subtree default: checked
+		"coma/internal/cluster":            false, // ConcurrencyAllowlist
+		"coma/internal/cluster/sub":        true,  // subtree default: checked
 		"coma/internal/mesh":               true,  // slab indices feed dispatch order
 		"coma/internal/machine":            true,  // assembles and seeds the engine
 		"coma/internal/inspect":            true,  // safe-point snapshots: sim time only
@@ -103,6 +114,8 @@ func TestSimBlockingScope(t *testing.T) {
 		"coma/internal/server":             false, // ConcurrencyAllowlist
 		"coma/internal/server/client":      false, // ConcurrencyAllowlist
 		"coma/internal/server/future":      true,  // subtree default: checked
+		"coma/internal/cluster":            false, // ConcurrencyAllowlist
+		"coma/internal/cluster/sub":        true,  // subtree default: checked
 		"coma/internal/sim":                false, // implements the primitives
 		"coma/internal/proto":              false,
 		"coma/cmd/comasim":                 false,

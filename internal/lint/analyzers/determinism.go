@@ -65,6 +65,7 @@ func DeterminismScope(pkgPath string) bool {
 	return inSubtree(pkgPath, "internal/obs") ||
 		inSubtree(pkgPath, "internal/experiments") ||
 		inSubtree(pkgPath, "internal/server") ||
+		inSubtree(pkgPath, "internal/cluster") ||
 		inSubtree(pkgPath, "internal/inspect")
 }
 

@@ -30,6 +30,16 @@ var ConcurrencyAllowlist = map[string]string{
 	// (wall-clock by nature: it paces requests to a real network
 	// service); it never runs under a sim.Engine.
 	"coma/internal/server/client": "comad HTTP client; wall-clock backoff against a real service",
+
+	// The cluster worker agent is host-side serve-layer concurrency like
+	// the daemon it talks to: slot executors, the heartbeat ticker and
+	// the lease long-poll are real goroutines around whole simulations,
+	// never inside one. Determinism is preserved by the same per-run
+	// isolation argument — each leased job builds a private machine from
+	// its canonical identity — and asserted end to end by the
+	// kill-a-worker test in internal/cluster, which requires
+	// byte-identical campaign tables after a mid-run requeue.
+	"coma/internal/cluster": "comad worker agent; host-side lease/heartbeat concurrency around isolated runs",
 }
 
 // allowlisted reports whether a package path has a ConcurrencyAllowlist

@@ -46,7 +46,8 @@ func SimBlockingScope(pkgPath string) bool {
 		}
 	}
 	return inSubtree(pkgPath, "internal/experiments") ||
-		inSubtree(pkgPath, "internal/server")
+		inSubtree(pkgPath, "internal/server") ||
+		inSubtree(pkgPath, "internal/cluster")
 }
 
 func runSimBlocking(pass *analysis.Pass) (interface{}, error) {

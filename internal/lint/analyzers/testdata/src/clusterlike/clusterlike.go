@@ -1,0 +1,85 @@
+// Fixture shaped like internal/cluster: a worker agent with slot
+// executor goroutines draining a lease queue, a heartbeat ticker loop,
+// backoff sleeps between retries, and a drain built on WaitGroup.Wait.
+// The real agent is exempt through the ConcurrencyAllowlist; this
+// package is not, proving that agent-shaped concurrency anywhere else
+// in the checked subtrees is still diagnosed — a new sub-package of
+// internal/cluster gets flagged until it earns its own allowlist entry.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type lease struct{ id string }
+
+type agent struct {
+	mu     sync.Mutex
+	queue  []lease
+	wake   chan struct{}
+	killed chan struct{}
+	wg     sync.WaitGroup
+}
+
+func (a *agent) startSlots(n int, run func(lease)) {
+	for i := 0; i < n; i++ {
+		a.wg.Add(1)
+		go func() { // want `raw goroutine escapes the engine's wake/yield handshake`
+			defer a.wg.Done()
+			for {
+				l, ok := a.take()
+				if !ok {
+					return
+				}
+				run(l)
+			}
+		}()
+	}
+}
+
+func (a *agent) take() (lease, bool) {
+	for {
+		a.mu.Lock()
+		if len(a.queue) > 0 {
+			l := a.queue[0]
+			a.queue = a.queue[1:]
+			a.mu.Unlock()
+			return l, true
+		}
+		a.mu.Unlock()
+		select { // want `select blocks on real channels`
+		case <-a.wake: // want `raw channel receive blocks the real goroutine`
+		case <-a.killed: // want `raw channel receive blocks the real goroutine`
+			return lease{}, false
+		}
+	}
+}
+
+func (a *agent) heartbeatLoop(every time.Duration, beat func()) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select { // want `select blocks on real channels`
+		case <-ticker.C: // want `raw channel receive blocks the real goroutine`
+			beat()
+		case <-a.killed: // want `raw channel receive blocks the real goroutine`
+			return
+		}
+	}
+}
+
+func (a *agent) retry(attempt int) {
+	time.Sleep(time.Duration(attempt) * 100 * time.Millisecond) // want `time.Sleep stalls the real goroutine`
+}
+
+func (a *agent) enqueue(l lease) {
+	a.mu.Lock()
+	a.queue = append(a.queue, l)
+	a.mu.Unlock()
+	a.wake <- struct{}{} // want `raw channel send can block the real goroutine`
+}
+
+func (a *agent) drain() {
+	a.wg.Wait() // want `sync.WaitGroup.Wait blocks outside simulated time`
+}

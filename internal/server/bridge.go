@@ -54,6 +54,17 @@ func (b *progressBridge) Emit(e obs.Event) {
 	}
 }
 
+// NewProgressObserver builds the same lifecycle-filtering observer the
+// daemon attaches to local runs, for use by worker nodes
+// (internal/cluster): counts may be nil; publish receives one line per
+// low-frequency lifecycle event, stamped with simulated cycles. Workers
+// forward those lines over POST /v1/workers/{id}/progress so a
+// cluster-dispatched job streams the same SSE narrative a local one
+// would.
+func NewProgressObserver(counts *[obs.NumKinds]int64, publish func(msg string, simCycles int64)) obs.Observer {
+	return &progressBridge{counts: counts, publish: publish}
+}
+
 func roundMode(a int64) string {
 	if a == 0 {
 		return "checkpoint"

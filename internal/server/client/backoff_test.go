@@ -1,0 +1,71 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// Delays must double from Base toward Cap and every delay must land in
+// the jitter window [pre/2, pre) of its pre-jitter value — and the whole
+// sequence must be reproducible from the seed.
+func TestBackoffSequenceDeterministicAndBounded(t *testing.T) {
+	pre := []time.Duration{ // pre-jitter schedule for Base=100ms, Cap=5s
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // capped
+		5 * time.Second, // stays capped
+	}
+	a := NewBackoff(42)
+	b := NewBackoff(42)
+	for i, p := range pre {
+		da := a.Next(0)
+		db := b.Next(0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < p/2 || da >= p {
+			t.Fatalf("attempt %d: delay %v outside jitter window [%v, %v)", i, da, p/2, p)
+		}
+	}
+}
+
+func TestBackoffSeedsDiverge(t *testing.T) {
+	a, b := NewBackoff(1), NewBackoff(2)
+	same := 0
+	for i := 0; i < 8; i++ {
+		if a.Next(0) == b.Next(0) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("different seeds produced identical delay sequences")
+	}
+}
+
+// A Retry-After floor above the jittered delay wins; below it, the
+// jittered delay stands.
+func TestBackoffFloor(t *testing.T) {
+	b := NewBackoff(7)
+	if d := b.Next(2 * time.Second); d != 2*time.Second {
+		t.Fatalf("floor ignored: got %v, want 2s", d)
+	}
+	b.Reset()
+	if d := b.Next(time.Nanosecond); d < 50*time.Millisecond || d >= 100*time.Millisecond {
+		t.Fatalf("tiny floor distorted jitter: got %v", d)
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	b := NewBackoff(9)
+	for i := 0; i < 5; i++ {
+		b.Next(0)
+	}
+	b.Reset()
+	if d := b.Next(0); d >= 100*time.Millisecond {
+		t.Fatalf("after Reset, delay should restart at Base: got %v", d)
+	}
+}

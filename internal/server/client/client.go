@@ -4,8 +4,8 @@
 // -remote modes are built on it.
 //
 // All methods are synchronous — the client spawns no goroutines; the
-// only blocking it does is HTTP I/O and the Retry-After backoff on a
-// 429, both bounded by the caller's context.
+// only blocking it does is HTTP I/O and the backoff sleep on a 429,
+// both bounded by the caller's context.
 package client
 
 import (
@@ -13,7 +13,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strconv"
@@ -26,16 +28,46 @@ import (
 
 // Client talks to one comad daemon.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	backoff *Backoff
 }
 
 // New returns a client for the daemon at base (e.g. "http://localhost:7700").
 // The underlying http.Client has no timeout — simulations can run for
-// minutes; bound calls with a context instead.
+// minutes; bound calls with a context instead. Retry jitter is seeded
+// from the base URL, so a given client's schedule is reproducible but
+// clients of different daemons (or tests with distinct httptest ports)
+// de-correlate.
 func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	h := fnv.New64a()
+	h.Write([]byte(base))
+	return NewSeeded(base, h.Sum64())
 }
+
+// NewSeeded is New with an explicit retry-jitter seed, for tests and
+// fleets that want per-instance de-correlation beyond the URL.
+func NewSeeded(base string, seed uint64) *Client {
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{},
+		backoff: NewBackoff(seed),
+	}
+}
+
+// StatusCode extracts the HTTP status from a daemon error (0 when err
+// is not an API error — e.g. a transport failure).
+func StatusCode(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return 0
+}
+
+// IsGone reports whether err is the daemon saying a resource no longer
+// exists (HTTP 410) — for workers, the signal to re-register.
+func IsGone(err error) bool { return StatusCode(err) == http.StatusGone }
 
 // apiError is a non-2xx response decoded from the daemon's error body.
 type apiError struct {
@@ -60,7 +92,8 @@ func decodeError(resp *http.Response) error {
 
 // Submit posts a job. With wait, the call blocks until the job is
 // terminal and the returned status carries the result payload. A 429 is
-// retried after the daemon's Retry-After hint until ctx expires.
+// retried with capped exponential backoff (deterministic jitter,
+// Retry-After as a floor) until ctx expires.
 func (c *Client) Submit(ctx context.Context, spec server.JobSpec, wait bool) (server.JobStatus, error) {
 	payload, err := json.Marshal(spec)
 	if err != nil {
@@ -81,7 +114,7 @@ func (c *Client) Submit(ctx context.Context, spec server.JobSpec, wait bool) (se
 			return server.JobStatus{}, err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
-			delay := retryAfter(resp)
+			delay := c.backoff.Next(retryAfter(resp))
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			timer := time.NewTimer(delay)
@@ -101,15 +134,18 @@ func (c *Client) Submit(ctx context.Context, spec server.JobSpec, wait bool) (se
 		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 			return server.JobStatus{}, fmt.Errorf("comad: decoding job status: %w", err)
 		}
+		c.backoff.Reset()
 		return st, nil
 	}
 }
 
+// retryAfter extracts the daemon's Retry-After hint (0 if absent) — the
+// backoff floor, not the delay itself.
 func retryAfter(resp *http.Response) time.Duration {
 	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 		return time.Duration(secs) * time.Second
 	}
-	return time.Second
+	return 0
 }
 
 // Run submits, waits, and decodes the result: the blocking "give me the

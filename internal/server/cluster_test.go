@@ -1,0 +1,400 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ---- raw-HTTP worker helpers (the typed client lives in a package
+// that imports this one, so tests speak the wire format directly) ----
+
+func workerPost(t *testing.T, ts *httptest.Server, path string, body any, out any) *http.Response {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", path, raw, err)
+		}
+	}
+	return resp
+}
+
+func registerWorker(t *testing.T, ts *httptest.Server, name string, slots int) string {
+	t.Helper()
+	var reg RegisterResponse
+	resp := workerPost(t, ts, "/v1/workers", RegisterRequest{Name: name, Slots: slots}, &reg)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register %s: status %d", name, resp.StatusCode)
+	}
+	return reg.WorkerID
+}
+
+func leaseJobs(t *testing.T, ts *httptest.Server, workerID string, max int) LeaseResponse {
+	t.Helper()
+	var lr LeaseResponse
+	resp := workerPost(t, ts, "/v1/workers/"+workerID+"/lease", LeaseRequest{Max: max}, &lr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease as %s: status %d", workerID, resp.StatusCode)
+	}
+	return lr
+}
+
+func heartbeat(t *testing.T, ts *httptest.Server, workerID string, running []string) HeartbeatResponse {
+	t.Helper()
+	var hr HeartbeatResponse
+	resp := workerPost(t, ts, "/v1/workers/"+workerID+"/heartbeat", HeartbeatRequest{Running: running}, &hr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heartbeat as %s: status %d", workerID, resp.StatusCode)
+	}
+	return hr
+}
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+// parseExposition parses Prometheus text format into sample → value,
+// failing the test on any malformed line — the scrape-parse check.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed sample value in %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	return samples
+}
+
+func jobStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestClusterLeaseExpiryRequeuesByteIdentical is the core
+// fault-tolerance scenario end to end: a worker leases a job and goes
+// silent; the lease expires; a second worker leases the requeued job
+// (attempt counter bumped) and completes it; the stored payload is
+// byte-for-byte what the fake worker computed — and the zombie's late
+// duplicate completion is accepted as a no-op.
+func TestClusterLeaseExpiryRequeuesByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Cluster:  true,
+		LeaseTTL: 150 * time.Millisecond,
+		Revision: "test-rev",
+	})
+
+	victim := registerWorker(t, ts, "victim", 1)
+	resp, st := postJob(t, ts, `{"app":"mp3d","nodes":2,"protocol":"ecp","seed":7,"progress":true}`, false)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202", resp.StatusCode)
+	}
+
+	lr := leaseJobs(t, ts, victim, 1)
+	if len(lr.Jobs) != 1 || lr.Jobs[0].JobID != st.ID {
+		t.Fatalf("victim lease = %+v, want job %s", lr, st.ID)
+	}
+	if lr.Jobs[0].Attempt != 0 {
+		t.Fatalf("first lease Attempt = %d, want 0", lr.Jobs[0].Attempt)
+	}
+	if got := jobStatus(t, ts, st.ID); got.State != StateRunning || got.Worker != victim {
+		t.Fatalf("after lease: state=%s worker=%q, want running on %s", got.State, got.Worker, victim)
+	}
+
+	// The victim goes silent past its liveness window; the next scrape's
+	// lazy sweep declares it dead and requeues the job.
+	time.Sleep(300 * time.Millisecond)
+	m := parseExposition(t, scrape(t, ts))
+	if m[`coma_cluster_workers{state="dead"}`] != 1 {
+		t.Fatalf("dead workers = %v, want 1", m[`coma_cluster_workers{state="dead"}`])
+	}
+	if m["coma_cluster_lease_expiries_total"] != 1 || m["coma_cluster_requeues_total"] != 1 {
+		t.Fatalf("expiries/requeues = %v/%v, want 1/1",
+			m["coma_cluster_lease_expiries_total"], m["coma_cluster_requeues_total"])
+	}
+	if got := jobStatus(t, ts, st.ID); got.State != StateQueued || got.Requeues != 1 {
+		t.Fatalf("after expiry: state=%s requeues=%d, want queued/1", got.State, got.Requeues)
+	}
+
+	// A healthy replacement picks the job up and completes it.
+	savior := registerWorker(t, ts, "savior", 1)
+	lr2 := leaseJobs(t, ts, savior, 1)
+	if len(lr2.Jobs) != 1 || lr2.Jobs[0].JobID != st.ID {
+		t.Fatalf("savior lease = %+v, want requeued job", lr2)
+	}
+	if lr2.Jobs[0].Attempt != 1 {
+		t.Fatalf("requeued lease Attempt = %d, want 1", lr2.Jobs[0].Attempt)
+	}
+	if !lr2.Jobs[0].Progress {
+		t.Fatal("lease lost the spec's progress flag")
+	}
+	payload, err := MarshalResult(fakeRun(lr2.Jobs[0].Identity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerPost(t, ts, "/v1/workers/"+savior+"/progress",
+		ProgressRequest{JobID: st.ID, Events: []ProgressEvent{{Message: "checkpoint round 1 begin", SimCycles: 42}}}, nil)
+	cresp := workerPost(t, ts, "/v1/workers/"+savior+"/complete",
+		CompleteRequest{JobID: st.ID, Result: payload}, nil)
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("complete: status %d", cresp.StatusCode)
+	}
+
+	final := jobStatus(t, ts, st.ID)
+	if final.State != StateDone || final.Requeues != 1 {
+		t.Fatalf("final state=%s requeues=%d, want done/1", final.State, final.Requeues)
+	}
+	res, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !bytes.Equal(stored, payload) {
+		t.Fatalf("stored result differs from worker payload:\n got %s\nwant %s", stored, payload)
+	}
+
+	// The zombie finished too, eventually: its duplicate completion is a
+	// benign no-op (first result won), not an error.
+	zresp := workerPost(t, ts, "/v1/workers/"+victim+"/complete",
+		CompleteRequest{JobID: st.ID, Result: payload}, nil)
+	if zresp.StatusCode != http.StatusOK {
+		t.Fatalf("zombie duplicate completion: status %d, want 200", zresp.StatusCode)
+	}
+	if got := jobStatus(t, ts, st.ID); got.State != StateDone {
+		t.Fatalf("zombie completion flipped state to %s", got.State)
+	}
+
+	// The savior's forwarded progress line is in the job's event replay.
+	ev, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _ := io.ReadAll(ev.Body)
+	ev.Body.Close()
+	if !strings.Contains(string(events), "checkpoint round 1 begin") {
+		t.Fatalf("event replay missing forwarded progress line:\n%s", events)
+	}
+
+	// Healthz reports coordinator mode and one live worker.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(hz.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if !h.Cluster || h.ClusterWorkers != 1 {
+		t.Fatalf("healthz cluster=%v workers=%d, want true/1", h.Cluster, h.ClusterWorkers)
+	}
+}
+
+// TestClusterDeadLetter drives a job past its requeue budget and
+// checks it lands in the terminal dead_letter state — and that Drain
+// does not hang on it (the inflight count must be released).
+func TestClusterDeadLetter(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		Cluster:     true,
+		LeaseTTL:    100 * time.Millisecond,
+		MaxRequeues: -1, // dead-letter on the first expiry
+	})
+
+	w := registerWorker(t, ts, "flaky", 1)
+	_, st := postJob(t, ts, specJSON(11), false)
+	if lr := leaseJobs(t, ts, w, 1); len(lr.Jobs) != 1 {
+		t.Fatalf("lease = %+v, want 1 job", lr)
+	}
+	time.Sleep(250 * time.Millisecond)
+	m := parseExposition(t, scrape(t, ts)) // lazy sweep
+
+	got := jobStatus(t, ts, st.ID)
+	if got.State != StateDeadLetter {
+		t.Fatalf("state = %s, want dead_letter", got.State)
+	}
+	if got.Error == "" {
+		t.Fatal("dead-lettered job carries no error message")
+	}
+	if m[`comad_jobs_total{state="dead_letter"}`] != 1 {
+		t.Fatalf("dead_letter counter = %v, want 1", m[`comad_jobs_total{state="dead_letter"}`])
+	}
+
+	// A new worker must not be handed the corpse.
+	w2 := registerWorker(t, ts, "fresh", 1)
+	if lr := leaseJobs(t, ts, w2, 4); len(lr.Jobs) != 0 {
+		t.Fatalf("dead-lettered job leased again: %+v", lr)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain hung on dead-lettered job: %v", err)
+	}
+}
+
+// TestClusterWorkStealing: an idle worker facing an empty queue takes
+// unstarted leases from the most backlogged peer, which learns of the
+// loss through the revocation list on its next heartbeat.
+func TestClusterWorkStealing(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Cluster:  true,
+		LeaseTTL: time.Minute, // nobody dies in this test
+	})
+
+	hoarder := registerWorker(t, ts, "hoarder", 4)
+	ids := make(map[string]bool)
+	for seed := uint64(1); seed <= 3; seed++ {
+		_, st := postJob(t, ts, specJSON(seed), false)
+		ids[st.ID] = true
+	}
+	lr := leaseJobs(t, ts, hoarder, 3)
+	if len(lr.Jobs) != 3 {
+		t.Fatalf("hoarder leased %d jobs, want 3", len(lr.Jobs))
+	}
+
+	// The hoarder reports none of them started: all three are stealable.
+	heartbeat(t, ts, hoarder, nil)
+	idle := registerWorker(t, ts, "idle", 1)
+	got := leaseJobs(t, ts, idle, 1)
+	if len(got.Jobs) != 1 {
+		t.Fatalf("idle worker stole %d jobs, want 1", len(got.Jobs))
+	}
+	stolen := got.Jobs[0].JobID
+	if !ids[stolen] {
+		t.Fatalf("stole unknown job %s", stolen)
+	}
+
+	hb := heartbeat(t, ts, hoarder, nil)
+	if len(hb.Revoked) != 1 || hb.Revoked[0] != stolen {
+		t.Fatalf("hoarder revocations = %v, want [%s]", hb.Revoked, stolen)
+	}
+	m := parseExposition(t, scrape(t, ts))
+	if m["coma_cluster_steals_total"] != 1 {
+		t.Fatalf("steals_total = %v, want 1", m["coma_cluster_steals_total"])
+	}
+
+	// The job moved with its lease: still running, now on the thief.
+	if st := jobStatus(t, ts, stolen); st.State != StateRunning || st.Worker != idle {
+		t.Fatalf("stolen job: state=%s worker=%q, want running on %s", st.State, st.Worker, idle)
+	}
+}
+
+// TestClusterMetricsFamiliesAlwaysParse: the cluster families are
+// emitted (as zeros) even on a single-process daemon, and the whole
+// exposition parses on both.
+func TestClusterMetricsFamiliesAlwaysParse(t *testing.T) {
+	families := []string{
+		`coma_cluster_workers{state="active"}`,
+		`coma_cluster_workers{state="dead"}`,
+		"coma_cluster_lease_expiries_total",
+		"coma_cluster_requeues_total",
+		"coma_cluster_steals_total",
+	}
+	for _, cluster := range []bool{false, true} {
+		_, ts := newTestServer(t, Options{Cluster: cluster})
+		m := parseExposition(t, scrape(t, ts))
+		for _, f := range families {
+			if v, ok := m[f]; !ok || v != 0 {
+				t.Errorf("cluster=%v: %s = %v,%v, want present and 0", cluster, f, v, ok)
+			}
+		}
+	}
+}
+
+// TestClusterRevisionMismatchRefused: a worker built from different
+// code must not join — its results would poison the cache.
+func TestClusterRevisionMismatchRefused(t *testing.T) {
+	_, ts := newTestServer(t, Options{Cluster: true, Revision: "r1"})
+	resp := workerPost(t, ts, "/v1/workers", RegisterRequest{Name: "stale", Slots: 1, Revision: "r0"}, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched revision: status %d, want 409", resp.StatusCode)
+	}
+	// Same revision (and workers that do not state one) are fine.
+	registerWorker(t, ts, "anon", 1)
+	var reg RegisterResponse
+	if resp := workerPost(t, ts, "/v1/workers", RegisterRequest{Name: "ok", Slots: 2, Revision: "r1"}, &reg); resp.StatusCode != http.StatusOK {
+		t.Fatalf("matching revision refused: %d", resp.StatusCode)
+	}
+	if reg.LeaseTTLMS != DefaultLeaseTTL.Milliseconds() {
+		t.Fatalf("advertised lease TTL %dms, want %dms", reg.LeaseTTLMS, DefaultLeaseTTL.Milliseconds())
+	}
+}
+
+// TestClusterDeregisterReturnsBacklog: a graceful goodbye requeues the
+// worker's leases immediately, without burning a requeue attempt.
+func TestClusterDeregisterReturnsBacklog(t *testing.T) {
+	_, ts := newTestServer(t, Options{Cluster: true, LeaseTTL: time.Minute})
+	w := registerWorker(t, ts, "leaver", 2)
+	_, st := postJob(t, ts, specJSON(21), false)
+	if lr := leaseJobs(t, ts, w, 1); len(lr.Jobs) != 1 {
+		t.Fatal("lease failed")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/workers/"+w, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deregister: status %d", resp.StatusCode)
+	}
+	got := jobStatus(t, ts, st.ID)
+	if got.State != StateQueued {
+		t.Fatalf("after deregister: state %s, want queued", got.State)
+	}
+	if got.Requeues != 0 {
+		t.Fatalf("voluntary return burned an attempt: requeues %d", got.Requeues)
+	}
+	// The departed worker's id is dead to the API now.
+	if resp := workerPost(t, ts, "/v1/workers/"+w+"/heartbeat", HeartbeatRequest{}, nil); resp.StatusCode != http.StatusGone {
+		t.Fatalf("heartbeat after deregister: status %d, want 410", resp.StatusCode)
+	}
+}

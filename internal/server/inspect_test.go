@@ -365,7 +365,7 @@ func TestInspectRealRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := marshalResult(run)
+	plain, err := MarshalResult(run)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,10 +13,13 @@ import (
 	"coma/internal/workload"
 )
 
-// State is a job's position in its lifecycle. The machine is strictly
-// forward: queued -> running -> done|failed, with cancelled reachable
-// only from queued (a running simulation is never killed; see DESIGN.md
-// §22).
+// State is a job's position in its lifecycle. In single-process mode
+// the machine is strictly forward: queued -> running -> done|failed,
+// with cancelled reachable only from queued (a running simulation is
+// never killed; see DESIGN.md §22). In cluster mode a job leased to a
+// worker is running, and a lost worker moves it running -> queued again
+// (lease expiry, see DESIGN.md §12); a job requeued more than the
+// configured maximum ends dead_letter instead.
 type State string
 
 const (
@@ -25,11 +28,17 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateDeadLetter is the cluster scheduler's give-up state: the job's
+	// lease expired more than Options.MaxRequeues times, so either the
+	// job reliably kills workers or the fleet is too unstable to finish
+	// it. Terminal, like failed, but distinguishable so operators can
+	// tell worker churn from simulation errors.
+	StateDeadLetter State = "dead_letter"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateDeadLetter
 }
 
 // JobSpec is the wire format of POST /v1/jobs: a validated simulation
@@ -223,6 +232,10 @@ type JobStatus struct {
 	// "miss" (a new simulation). Submission responses only.
 	Cache string `json:"cache,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Worker is the node currently holding the job's lease (cluster
+	// mode, running jobs only); Requeues counts lease expiries survived.
+	Worker   string `json:"worker,omitempty"`
+	Requeues int    `json:"requeues,omitempty"`
 	// QueueMS and RunMS are wall-clock durations, present once known.
 	QueueMS float64 `json:"queue_ms,omitempty"`
 	RunMS   float64 `json:"run_ms,omitempty"`
@@ -248,6 +261,11 @@ type job struct {
 	dequeued bool   // queue-depth accounting done
 	pinned   bool   // an async submission exists: never cancel on disconnect
 	interest int    // waiting submissions with cancel-on-disconnect semantics
+
+	// Cluster-mode scheduling state (zero in single-process mode).
+	cluster  bool   // dispatched to worker nodes, not the local pool
+	workerID string // current lease holder while running
+	attempts int    // lease expiries so far; > MaxRequeues dead-letters
 
 	queuedAt   time.Time
 	startedAt  time.Time
@@ -281,6 +299,10 @@ func (j *job) status(includeResult bool) JobStatus {
 		Nodes:    j.identity.Arch.Nodes,
 		Seed:     j.identity.Seed,
 		Error:    j.errMsg,
+		Requeues: j.attempts,
+	}
+	if j.state == StateRunning {
+		st.Worker = j.workerID
 	}
 	if !j.startedAt.IsZero() {
 		st.QueueMS = msBetween(j.queuedAt, j.startedAt)

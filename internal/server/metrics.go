@@ -97,9 +97,9 @@ func (m *metrics) hitRatio() float64 {
 }
 
 // write emits the Prometheus text exposition. Gauges owned by the
-// scheduler (queue depth, in-flight, store size) and the per-running-job
-// inspection gauges are passed in.
-func (m *metrics) write(w io.Writer, queueDepth, inflight, storeLen int, jobs []jobGauge) {
+// scheduler (queue depth, in-flight, store size), the per-running-job
+// inspection gauges, and the cluster scheduler snapshot are passed in.
+func (m *metrics) write(w io.Writer, queueDepth, inflight, storeLen int, jobs []jobGauge, clu clusterStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -120,9 +120,22 @@ func (m *metrics) write(w io.Writer, queueDepth, inflight, storeLen int, jobs []
 
 	fmt.Fprintf(w, "# HELP comad_jobs_total Jobs by terminal state.\n")
 	fmt.Fprintf(w, "# TYPE comad_jobs_total counter\n")
-	for _, st := range []State{StateDone, StateFailed, StateCancelled} {
+	for _, st := range []State{StateDone, StateFailed, StateCancelled, StateDeadLetter} {
 		fmt.Fprintf(w, "comad_jobs_total{state=%q} %d\n", string(st), m.jobsByEnd[st])
 	}
+
+	// Cluster scheduler families: emitted unconditionally (zeros on a
+	// single-process daemon) so scrapers see stable metadata.
+	fmt.Fprintf(w, "# HELP coma_cluster_workers Registered worker nodes by state.\n")
+	fmt.Fprintf(w, "# TYPE coma_cluster_workers gauge\n")
+	fmt.Fprintf(w, "coma_cluster_workers{state=\"active\"} %d\n", clu.active)
+	fmt.Fprintf(w, "coma_cluster_workers{state=\"dead\"} %d\n", clu.dead)
+	fmt.Fprintf(w, "# HELP coma_cluster_lease_expiries_total Leases expired because their worker missed its liveness window.\n")
+	fmt.Fprintf(w, "# TYPE coma_cluster_lease_expiries_total counter\ncoma_cluster_lease_expiries_total %d\n", clu.leaseExpiries)
+	fmt.Fprintf(w, "# HELP coma_cluster_requeues_total Jobs returned to the dispatch queue (lease expiry or worker deregistration).\n")
+	fmt.Fprintf(w, "# TYPE coma_cluster_requeues_total counter\ncoma_cluster_requeues_total %d\n", clu.requeues)
+	fmt.Fprintf(w, "# HELP coma_cluster_steals_total Unstarted leases reassigned from a backlogged worker to an idle one.\n")
+	fmt.Fprintf(w, "# TYPE coma_cluster_steals_total counter\ncoma_cluster_steals_total %d\n", clu.steals)
 
 	fmt.Fprintf(w, "# HELP comad_http_responses_total HTTP responses by status code.\n")
 	fmt.Fprintf(w, "# TYPE comad_http_responses_total counter\n")

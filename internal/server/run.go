@@ -110,11 +110,13 @@ func SimRunner(id config.RunIdentity, opts RunOptions) (*stats.Run, error) {
 	return m.Run()
 }
 
-// marshalResult produces the canonical result payload: the stats.Run
+// MarshalResult produces the canonical result payload: the stats.Run
 // encoded as compact JSON. It is computed exactly once per run and
 // stored; every response serves the stored bytes, which is what makes
 // "byte-identical result payloads" a property of the API rather than of
-// the JSON encoder.
-func marshalResult(r *stats.Run) ([]byte, error) {
+// the JSON encoder. Worker nodes (internal/cluster) use the same
+// function so a payload computed remotely is byte-for-byte the payload
+// a local run would have stored.
+func MarshalResult(r *stats.Run) ([]byte, error) {
 	return json.Marshal(r)
 }

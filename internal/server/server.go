@@ -56,6 +56,21 @@ type Options struct {
 	Runner Runner
 	// Logf receives operational log lines (nil: discarded).
 	Logf func(format string, args ...any)
+
+	// Cluster switches the daemon into coordinator mode: jobs are not
+	// executed in-process but dispatched to registered worker nodes
+	// (cmd/comanode) over the lease protocol in cluster.go. The job API,
+	// cache and SSE surface are unchanged — only who simulates moves.
+	Cluster bool
+	// LeaseTTL is the worker liveness window: a worker silent for this
+	// long is dead and its leases requeue (0: 15s). Cluster mode only.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the heartbeat period advertised to workers
+	// (0: LeaseTTL/3). Cluster mode only.
+	HeartbeatEvery time.Duration
+	// MaxRequeues bounds how many lease expiries a job survives before
+	// it is dead-lettered (0: 3; negative: dead-letter on first expiry).
+	MaxRequeues int
 }
 
 // Server is the comad daemon: scheduler state plus the HTTP API.
@@ -66,6 +81,7 @@ type Server struct {
 	met    *metrics
 	pool   *runner.Pool[string, struct{}]
 	mux    *http.ServeMux
+	clu    *clusterTable // cluster-mode scheduler state; nil otherwise
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -87,6 +103,17 @@ func New(opts Options) (*Server, error) {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
 	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = opts.LeaseTTL / 3
+	}
+	if opts.MaxRequeues == 0 {
+		opts.MaxRequeues = DefaultMaxRequeues
+	} else if opts.MaxRequeues < 0 {
+		opts.MaxRequeues = 0
+	}
 	store, err := NewStore(opts.CacheDir)
 	if err != nil {
 		return nil, err
@@ -102,6 +129,9 @@ func New(opts Options) (*Server, error) {
 	if s.runner == nil {
 		s.runner = SimRunner
 	}
+	if opts.Cluster {
+		s.clu = newClusterTable(opts)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -111,6 +141,13 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/inspect", s.handleInspect)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/inspect/stream", s.handleInspectStream)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	s.mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
+	s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+	s.mux.HandleFunc("POST /v1/workers/{id}/lease", s.handleWorkerLease)
+	s.mux.HandleFunc("POST /v1/workers/{id}/complete", s.handleWorkerComplete)
+	s.mux.HandleFunc("POST /v1/workers/{id}/progress", s.handleWorkerProgress)
+	s.mux.HandleFunc("DELETE /v1/workers/{id}", s.handleWorkerDeregister)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -216,6 +253,14 @@ func (s *Server) admit(spec JobSpec, identity config.RunIdentity, wait bool) (j 
 	s.order = append(s.order, key)
 	s.queued++
 	s.inflight.Add(1)
+	if s.clu != nil {
+		// Cluster mode: onto the dispatch queue for worker nodes; the
+		// terminal transition (worker completion, dead-letter, cancel)
+		// releases inflight via finishLocked.
+		j.cluster = true
+		s.enqueueLocked(j, false)
+		return j, "miss", 0, 0
+	}
 	s.pool.Start(key, func() (struct{}, error) {
 		s.execute(j)
 		return struct{}{}, nil
@@ -289,7 +334,7 @@ func (s *Server) execute(j *job) {
 	res, err := s.runner(j.identity, opts)
 	var payload []byte
 	if err == nil {
-		payload, err = marshalResult(res)
+		payload, err = MarshalResult(res)
 	}
 	var persistErr error
 	if err == nil {
@@ -325,16 +370,20 @@ func (s *Server) execute(j *job) {
 
 // finishLocked moves a job to a terminal state: final event, done
 // broadcast, terminal metrics. Caller holds s.mu; the job must not
-// already be terminal.
+// already be terminal. Cluster jobs release their inflight count here —
+// their single release point, the way execute is for local jobs.
 func (s *Server) finishLocked(j *job, st State) {
 	j.state = st
 	ev := JobEvent{Type: "state", State: st}
-	if st == StateFailed {
+	if st == StateFailed || st == StateDeadLetter {
 		ev.Error = j.errMsg
 	}
 	s.appendEventLocked(j, ev)
 	close(j.done)
 	s.met.countTerminal(st)
+	if j.cluster {
+		s.inflight.Done()
+	}
 }
 
 // appendEventLocked appends to the job's event log and wakes every
@@ -559,24 +608,35 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
 	s.mu.Lock()
+	if s.clu != nil {
+		s.sweepLocked(now)
+	}
 	draining, queued, running := s.draining, s.queued, s.running
+	clu := s.clusterStatsLocked()
 	s.mu.Unlock()
 	s.respondJSON(w, http.StatusOK, Health{
 		Status: "ok", Draining: draining,
 		Queued: queued, Running: running,
 		Workers: s.opts.Workers, Revision: s.opts.Revision,
+		Cluster: clu.enabled, ClusterWorkers: clu.active,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
 	s.mu.Lock()
+	if s.clu != nil {
+		s.sweepLocked(now)
+	}
 	queued, running := s.queued, s.running
-	gauges := s.jobGaugesLocked(time.Now().UnixMilli())
+	gauges := s.jobGaugesLocked(now.UnixMilli())
+	clu := s.clusterStatsLocked()
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.countHTTP(http.StatusOK)
-	s.met.write(w, queued, running, s.store.Len(), gauges)
+	s.met.write(w, queued, running, s.store.Len(), gauges, clu)
 }
 
 func (s *Server) respondJSON(w http.ResponseWriter, code int, v any) {

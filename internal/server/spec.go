@@ -10,6 +10,10 @@ type Health struct {
 	Running  int    `json:"running"`
 	Workers  int    `json:"workers"`
 	Revision string `json:"revision"`
+	// Cluster reports coordinator mode; ClusterWorkers counts the active
+	// worker nodes registered with it.
+	Cluster        bool `json:"cluster,omitempty"`
+	ClusterWorkers int  `json:"cluster_workers,omitempty"`
 }
 
 // SpecForIdentity is the inverse of JobSpec.Identity: a fully explicit
