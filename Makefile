@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint comalint staticcheck bench bench-json bench-compare smoke-serve smoke-inspect smoke-cluster model check
+.PHONY: all build test race vet lint comalint staticcheck bench bench-json bench-compare smoke-serve smoke-inspect smoke-cluster attest model check
 
 all: check
 
@@ -74,6 +74,15 @@ smoke-inspect:
 # single-process run, graceful drain (see README §Cluster).
 smoke-cluster:
 	bash scripts/smoke-cluster.sh
+
+# attest exercises the verifiable-receipt contract: same-seed comasim
+# runs emit byte-identical receipts, `comatrace attest` verifies them
+# against the result and trace artifacts, single-byte tampering fails
+# naming the divergent field, and a comad daemon with a receipt key
+# serves signed receipts that attest offline (see README §Execution
+# receipts).
+attest:
+	bash scripts/smoke-attest.sh
 
 # model runs the protocol-conformance gate: static extraction over both
 # engines, exhaustive model checking, the staged runtime edge suite, and

@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
@@ -73,11 +74,18 @@ func serve(args []string) int {
 		leaseTTL     = fs.Duration("lease-ttl", 0, "cluster: worker liveness window before leases requeue (0: 15s)")
 		heartbeat    = fs.Duration("heartbeat", 0, "cluster: heartbeat period advertised to workers (0: lease-ttl/3)")
 		maxRequeues  = fs.Int("max-requeues", 0, "cluster: lease expiries a job survives before dead-letter (0: 3)")
+		receiptKey   = fs.String("receipt-key", "", "hex HMAC-SHA256 key: sign emitted receipts, and require signed receipts on cluster completions")
+		noReceipts   = fs.Bool("no-receipts", false, "skip receipt emission and trace recording for local runs")
 	)
 	fs.Parse(args)
 
 	if *revision == "" {
 		*revision = buildRevision()
+	}
+	key, err := hex.DecodeString(*receiptKey)
+	if err != nil {
+		log.Printf("comad: -receipt-key: %v", err)
+		return 2
 	}
 	logf := log.Printf
 	if *quiet {
@@ -89,6 +97,7 @@ func serve(args []string) int {
 		Logf:    logf,
 		Cluster: *clusterMode, LeaseTTL: *leaseTTL,
 		HeartbeatEvery: *heartbeat, MaxRequeues: *maxRequeues,
+		ReceiptKey: key, NoReceipts: *noReceipts,
 	})
 	if err != nil {
 		log.Printf("comad: %v", err)

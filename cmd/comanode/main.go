@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
@@ -40,8 +41,16 @@ func run(args []string) int {
 		revision    = fs.String("revision", "", "code revision reported at registration (default: build info)")
 		heartbeat   = fs.Duration("heartbeat", 0, "heartbeat period (0: coordinator's suggestion)")
 		quiet       = fs.Bool("quiet", false, "suppress per-job log lines")
+		receiptKey  = fs.String("receipt-key", "", "hex HMAC-SHA256 key signing completion receipts (must match the coordinator's)")
+		noReceipts  = fs.Bool("no-receipts", false, "skip receipt emission and trace recording (refused by a coordinator that requires signed receipts)")
 	)
 	fs.Parse(args)
+
+	key, err := hex.DecodeString(*receiptKey)
+	if err != nil {
+		log.Printf("comanode: -receipt-key: %v", err)
+		return 2
+	}
 
 	if *name == "" {
 		host, err := os.Hostname()
@@ -74,6 +83,8 @@ func run(args []string) int {
 		Revision:       *revision,
 		HeartbeatEvery: *heartbeat,
 		Logf:           logf,
+		ReceiptKey:     key,
+		NoReceipts:     *noReceipts,
 	})
 	log.Printf("comanode: %s joining %s (%d slot(s), revision %s)",
 		*name, *coordinator, *slots, short(*revision))

@@ -27,14 +27,17 @@ package main
 
 import (
 	"context"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
 	"coma"
 	"coma/internal/config"
+	"coma/internal/obs/receipt"
 	"coma/internal/proto"
 	"coma/internal/report"
 	"coma/internal/server"
@@ -90,6 +93,10 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the histogram summary to this file (\"-\" for stdout)")
 		obsFilter  = flag.String("obs-filter", "", "comma-separated event classes to record: state, fill, inject, ckpt, fault, net, all (default all)")
 		obsSample  = flag.Int64("obs-sample", 0, "mesh queue-depth sampling period in cycles (0: default)")
+
+		receiptOut = flag.String("receipt-out", "", "write the execution receipt (coma-receipt/v1 JSON) to this file (\"-\" for stdout); with -remote, fetched from the daemon")
+		resultOut  = flag.String("result-out", "", "write the canonical result payload the receipt attests to this file; with -remote, fetched from the daemon")
+		receiptKey = flag.String("receipt-key", "", "hex HMAC-SHA256 key signing the receipt (in-process runs; a remote daemon signs with its own key)")
 	)
 	var failures failureFlags
 	flag.Var(&failures, "fail", "inject a failure, cycle:node[:perm]; repeatable")
@@ -102,6 +109,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "comasim: unknown app %q\n", *appName)
 		os.Exit(2)
 	}
+	key, err := hex.DecodeString(*receiptKey)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comasim: -receipt-key: %v\n", err)
+		os.Exit(2)
+	}
 	if *remote != "" {
 		if len(traceOuts) > 0 || *metricsOut != "" {
 			fmt.Fprintln(os.Stderr, "comasim: -trace-out/-metrics-out need an in-process run (drop -remote)")
@@ -111,7 +123,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "comasim: -repl needs an in-process run (drop -remote)")
 			os.Exit(2)
 		}
-		os.Exit(runRemote(*remote, remoteSpec(*appName, *nodes, *protocol, *hz, *scale, *seed, *modern, *strict, *verify, failures)))
+		if *receiptKey != "" {
+			fmt.Fprintln(os.Stderr, "comasim: -receipt-key needs an in-process run (a remote daemon signs with its own key)")
+			os.Exit(2)
+		}
+		os.Exit(runRemote(*remote, remoteSpec(*appName, *nodes, *protocol, *hz, *scale, *seed, *modern, *strict, *verify, failures), *receiptOut, *resultOut))
 	}
 	cfg := coma.Config{
 		Nodes:        *nodes,
@@ -127,11 +143,17 @@ func main() {
 	}
 
 	var rec *coma.ObsRecorder
-	if len(traceOuts) > 0 || *metricsOut != "" {
+	if len(traceOuts) > 0 || *metricsOut != "" || *receiptOut != "" {
 		mask, err := coma.ParseObsFilter(*obsFilter)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
 			os.Exit(2)
+		}
+		if *obsFilter == "" && *receiptOut != "" {
+			// No explicit filter: record what the daemon's always-on
+			// receipt gate records, so a local receipt's trace digest
+			// matches a comad-emitted one for the same run.
+			mask = receipt.TraceMask
 		}
 		rec = coma.NewObsRecorder(mask)
 		cfg.Observer = rec
@@ -162,6 +184,10 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if err := emitReceipt(spec, res, rec, key, *receiptOut, *resultOut); err != nil {
+			fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -177,6 +203,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	spec := remoteSpec(*appName, *nodes, *protocol, *hz, *scale, *seed, *modern, *strict, *verify, failures)
+	if err := emitReceipt(spec, res, rec, key, *receiptOut, *resultOut); err != nil {
+		fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -206,8 +237,10 @@ func remoteSpec(app string, nodes int, protocol string, hz, scale float64, seed 
 }
 
 // runRemote submits the job to a comad daemon, streams its progress to
-// stderr, and prints the result exactly like a local run.
-func runRemote(base string, spec server.JobSpec) int {
+// stderr, and prints the result exactly like a local run. When asked
+// for a receipt or the canonical payload it fetches the daemon's own
+// artifacts — the bytes a later `comatrace attest` must see.
+func runRemote(base string, spec server.JobSpec, receiptOut, resultOut string) int {
 	c := client.New(base)
 	res, st, err := c.RunStreaming(context.Background(), spec, func(ev server.JobEvent) {
 		switch ev.Type {
@@ -225,7 +258,108 @@ func runRemote(base string, spec server.JobSpec) int {
 		fmt.Fprintf(os.Stderr, "remote: served from cache (job %s)\n", st.ID[:12])
 	}
 	printResult(res)
+	if receiptOut != "" {
+		b, err := c.Receipt(context.Background(), st.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comasim: fetching receipt: %v\n", err)
+			return 1
+		}
+		if err := writeArtifact(receiptOut, "receipt", b); err != nil {
+			fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
+			return 1
+		}
+	}
+	if resultOut != "" {
+		b, err := c.Result(context.Background(), st.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comasim: fetching result: %v\n", err)
+			return 1
+		}
+		if err := writeArtifact(resultOut, "result", b); err != nil {
+			fmt.Fprintf(os.Stderr, "comasim: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// emitReceipt builds and writes the execution receipt for an in-process
+// run: the run's content address (the same identity a comad daemon
+// would cache it under), the canonical result digest, and — when the
+// run recorded a trace — the trace digest plus the recovery-invariant
+// verdict. With a key the receipt is HMAC-signed.
+func emitReceipt(spec server.JobSpec, res *coma.Result, rec *coma.ObsRecorder, key []byte, receiptOut, resultOut string) error {
+	if receiptOut == "" && resultOut == "" {
+		return nil
+	}
+	payload, err := server.MarshalResult(res)
+	if err != nil {
+		return err
+	}
+	if resultOut != "" {
+		if err := writeArtifact(resultOut, "result", payload); err != nil {
+			return err
+		}
+	}
+	if receiptOut == "" {
+		return nil
+	}
+	id, err := spec.Identity(buildRevision())
+	if err != nil {
+		return err
+	}
+	var events []coma.ObsEvent
+	if rec != nil {
+		events = rec.Events()
+	}
+	rcpt, _, err := receipt.Build(id, payload, events, receipt.ProducerLocal)
+	if err != nil {
+		return err
+	}
+	if len(key) > 0 {
+		rcpt = rcpt.Sign(key)
+	}
+	return writeArtifact(receiptOut, "receipt", append(rcpt.CanonicalJSON(), '\n'))
+}
+
+// writeArtifact writes bytes to a file or, for "-", standard output.
+func writeArtifact(path, what string, b []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  %-19s %s (%d bytes)\n", what, path, len(b))
+	return nil
+}
+
+// buildRevision mirrors comad's: the vcs revision stamped into the
+// binary ("+dirty" when modified), or "dev" outside a stamped build,
+// so a local receipt's run hash matches a daemon built from the same
+// tree.
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
 }
 
 // exportObservations writes the recorded event stream to every requested

@@ -16,19 +16,30 @@
 //	comatrace check run.jsonl         replay + recovery-invariant checker
 //	comatrace diff a.jsonl b.jsonl    first divergence of two same-seed traces
 //
+// And it verifies execution receipts (comasim -receipt-out, or
+// GET /v1/jobs/{id}/receipt from a comad daemon) offline:
+//
+//	comatrace attest run.receipt.json -result run.result.json -trace run.jsonl
+//
+// exits 0 when every recorded digest, total, and invariant verdict
+// recomputes from the artifacts, 1 naming the first divergent field.
+//
 // Every JSONL argument may be "-" for standard input. Malformed input
 // exits non-zero with the offending line number.
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"coma"
 	"coma/internal/obs"
+	"coma/internal/obs/receipt"
 	"coma/internal/obs/txnview"
 	"coma/internal/trace"
 	"coma/internal/workload"
@@ -53,6 +64,8 @@ func main() {
 		check(os.Args[2:])
 	case "diff":
 		diff(os.Args[2:])
+	case "attest":
+		attest(os.Args[2:])
 	default:
 		usage()
 	}
@@ -67,6 +80,7 @@ func usage() {
   comatrace coverage <events.jsonl>...
   comatrace check <events.jsonl>...
   comatrace diff <a.jsonl> <b.jsonl>
+  comatrace attest [-result file] [-trace file] [-key hex] <receipt.json>
 
   JSONL arguments accept "-" for standard input.`)
 	os.Exit(2)
@@ -264,6 +278,90 @@ func splitLines(s string) []string {
 		out = append(out, s[start:])
 	}
 	return out
+}
+
+// attest verifies an execution receipt against its artifacts: the
+// signature (with -key), then every derivable field — result digest,
+// cycle/event totals, trace digest, and the full recovery-invariant
+// replay. Exit 0 means the receipt is genuine for the supplied
+// artifacts; exit 1 names the first field that does not recompute.
+func attest(args []string) {
+	fs := flag.NewFlagSet("attest", flag.ExitOnError)
+	resultPath := fs.String("result", "", "canonical result payload to verify against result_digest")
+	tracePath := fs.String("trace", "", "JSONL event trace to verify against trace_digest and the invariant verdict")
+	keyHex := fs.String("key", "", "hex HMAC-SHA256 key; when set, the signature must verify")
+	// Accept the receipt path before or after the flags:
+	// `attest run.receipt.json -trace run.jsonl` reads naturally.
+	receiptPath := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") || len(args) > 0 && args[0] == "-" {
+		receiptPath, args = args[0], args[1:]
+	}
+	_ = fs.Parse(args)
+	switch {
+	case receiptPath == "" && fs.NArg() == 1:
+		receiptPath = fs.Arg(0)
+	case receiptPath != "" && fs.NArg() == 0:
+	default:
+		usage()
+	}
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comatrace: -key: %v\n", err)
+		os.Exit(2)
+	}
+	if *keyHex == "" {
+		key = nil // Attest skips signature checks on a nil key
+	}
+
+	rcpt, err := receipt.Parse(loadArtifact(receiptPath))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comatrace: %s: %v\n", displayName(receiptPath), err)
+		os.Exit(1)
+	}
+	var arts receipt.Artifacts
+	if *resultPath != "" {
+		arts.Result = loadArtifact(*resultPath)
+	}
+	if *tracePath != "" {
+		arts.Trace = loadArtifact(*tracePath)
+	}
+	if err := rcpt.Attest(arts, key); err != nil {
+		fmt.Fprintf(os.Stderr, "comatrace: attest FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	checked := []string{"schema", "canonical form"}
+	if key != nil {
+		checked = append(checked, "sig")
+	}
+	if arts.Result != nil {
+		checked = append(checked, "result_digest", "sim_cycles", "sim_events")
+	}
+	if arts.Trace != nil {
+		checked = append(checked, "trace_digest", "trace_events", "invariants")
+	}
+	fmt.Printf("%s: verified (%s)\n", displayName(receiptPath), strings.Join(checked, ", "))
+	fmt.Printf("  run       %s\n", rcpt.RunHash)
+	fmt.Printf("  producer  %s\n", rcpt.Producer)
+	fmt.Printf("  verdict   %s\n", rcpt.VerdictLabel())
+	if arts.Result == nil && arts.Trace == nil {
+		fmt.Println("  note      no artifacts supplied; only the receipt itself was checked")
+	}
+}
+
+// loadArtifact reads a whole artifact file ("-" for standard input).
+func loadArtifact(path string) []byte {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comatrace: %v\n", err)
+		os.Exit(1)
+	}
+	return data
 }
 
 func record(args []string) {

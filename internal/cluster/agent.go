@@ -31,6 +31,8 @@ import (
 	"sync"
 	"time"
 
+	"coma/internal/obs"
+	"coma/internal/obs/receipt"
 	"coma/internal/server"
 	"coma/internal/server/client"
 )
@@ -58,6 +60,15 @@ type Config struct {
 	HeartbeatEvery time.Duration
 	// Logf receives operational log lines (nil: discarded).
 	Logf func(format string, args ...any)
+
+	// NoReceipts disables execution receipts: by default every job is
+	// run under a receipt-grade recorder and its completion carries a
+	// coma-receipt/v1 document the coordinator digest-checks before
+	// accepting the result.
+	NoReceipts bool
+	// ReceiptKey HMAC-signs emitted receipts; must match the
+	// coordinator's key when it enforces one.
+	ReceiptKey []byte
 }
 
 // Agent is one worker node. Create with New, drive with Run.
@@ -347,12 +358,22 @@ func (a *Agent) execute(j server.LeasedJob) {
 	}()
 
 	var opts server.RunOptions
+	var rec *obs.Recorder
+	if !a.cfg.NoReceipts {
+		rec = obs.NewRecorder(receipt.TraceMask)
+		opts.Observer = rec
+	}
 	if j.Progress {
-		opts.Observer = server.NewProgressObserver(nil, func(msg string, simCycles int64) {
+		progress := server.NewProgressObserver(nil, func(msg string, simCycles int64) {
 			a.mu.Lock()
 			a.progress[j.JobID] = append(a.progress[j.JobID], server.ProgressEvent{Message: msg, SimCycles: simCycles})
 			a.mu.Unlock()
 		})
+		if rec != nil {
+			opts.Observer = teeObserver{rec, progress}
+		} else {
+			opts.Observer = progress
+		}
 	}
 	run, err := a.cfg.Runner(j.Identity, opts)
 	if a.isKilled() {
@@ -364,6 +385,20 @@ func (a *Agent) execute(j server.LeasedJob) {
 		req.Error = err.Error()
 	} else if req.Result, err = server.MarshalResult(run); err != nil {
 		req.Error = fmt.Sprintf("encoding result: %v", err)
+	} else if rec != nil {
+		// Attach the execution receipt: the coordinator recomputes the
+		// result digest against it before the payload may enter the
+		// store. The trace itself stays on the worker; its digest in the
+		// receipt lets any holder of the trace attest it later.
+		rcpt, _, rerr := receipt.Build(j.Identity, req.Result, rec.Events(), a.cfg.Name)
+		if rerr != nil {
+			a.logf("receipt %s: %v (completing without one)", short(j.JobID), rerr)
+		} else {
+			if len(a.cfg.ReceiptKey) > 0 {
+				rcpt = rcpt.Sign(a.cfg.ReceiptKey)
+			}
+			req.Receipt = rcpt.CanonicalJSON()
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -375,9 +410,14 @@ func (a *Agent) execute(j server.LeasedJob) {
 		if cerr == nil {
 			return
 		}
-		if client.StatusCode(cerr) == http.StatusNotFound || ctx.Err() != nil || a.isKilled() {
-			// Unknown job (cancelled or coordinator restarted) — the
-			// result has nowhere to go.
+		if sc := client.StatusCode(cerr); sc >= 400 && sc < 500 || ctx.Err() != nil || a.isKilled() {
+			// Unknown job (cancelled or coordinator restarted), or the
+			// coordinator rejected the completion outright (digest
+			// mismatch — it has already requeued the job): retrying the
+			// same bytes cannot succeed.
+			if sc == http.StatusUnprocessableEntity {
+				a.logf("complete %s: rejected: %v", short(j.JobID), cerr)
+			}
 			return
 		}
 		a.logf("complete %s: %v (retrying)", short(j.JobID), cerr)
@@ -385,6 +425,16 @@ func (a *Agent) execute(j server.LeasedJob) {
 			return
 		}
 	}
+}
+
+// teeObserver fans events out to the receipt recorder and the progress
+// bridge; one call per event, no allocations.
+type teeObserver struct{ a, b obs.Observer }
+
+// Emit implements obs.Observer.
+func (t teeObserver) Emit(ev obs.Event) {
+	t.a.Emit(ev)
+	t.b.Emit(ev)
 }
 
 // applyRevocations drops revoked jobs that have not started; jobs

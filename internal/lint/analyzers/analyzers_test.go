@@ -39,6 +39,14 @@ func TestObsWallClockFlagsSnapshotBuilders(t *testing.T) {
 	analysistest.Run(t, analyzers.ObsWallClock, "testdata/src/inspectlike")
 }
 
+// TestObsWallClockFlagsReceiptBuilders proves the same contract covers
+// execution-receipt builders: receipts attest runs byte-for-byte, so
+// any function returning internal/obs/receipt types must derive every
+// field from the run, never the wall clock.
+func TestObsWallClockFlagsReceiptBuilders(t *testing.T) {
+	analysistest.Run(t, analyzers.ObsWallClock, "testdata/src/receiptlike")
+}
+
 func TestStateTransition(t *testing.T) {
 	analysistest.Run(t, analyzers.StateTransition, "testdata/src/statetransition")
 }

@@ -17,17 +17,32 @@ import (
 // an exported trace would break byte-identical replay of same-seed
 // runs.
 //
-// The same contract covers live-inspection snapshot builders: any
-// function whose results include a type from a package suffixed
-// internal/inspect (unwrapping pointers and slices) constructs views
-// that promise to carry simulated time only — rates and wall-clock
-// deltas belong in the serving layer, computed at scrape time.
+// The same contract covers live-inspection snapshot builders and
+// execution-receipt builders: any function whose results include a
+// type from a package suffixed internal/inspect or internal/obs/receipt
+// (unwrapping pointers and slices) constructs artifacts that promise to
+// be byte-deterministic functions of the run — rates and wall-clock
+// deltas belong in the serving layer, computed at scrape time, and a
+// wall-clock stamp in a receipt would break same-seed receipts being
+// byte-identical.
 var ObsWallClock = &analysis.Analyzer{
 	Name: "obswallclock",
 	Doc: "Observer implementations (any type with an Emit(obs.Event) " +
-		"method) and inspect snapshot builders (functions returning " +
-		"internal/inspect view types) must not read the wall clock",
+		"method), inspect snapshot builders, and receipt builders " +
+		"(functions returning internal/inspect or internal/obs/receipt " +
+		"types) must not read the wall clock",
 	Run: runObsWallClock,
+}
+
+// deterministicViewPkgs are the import-path suffixes whose types mark a
+// function as a deterministic-artifact builder, with the phrase used in
+// the diagnostic.
+var deterministicViewPkgs = []struct {
+	suffix string
+	what   string
+}{
+	{"internal/inspect", "inspect views"},
+	{"internal/obs/receipt", "execution receipts"},
 }
 
 func runObsWallClock(pass *analysis.Pass) (interface{}, error) {
@@ -74,18 +89,19 @@ func runObsWallClock(pass *analysis.Pass) (interface{}, error) {
 				checkObsMethodBody(pass, tn, fd)
 				continue
 			}
-			if returnsInspectView(sig) {
-				checkSnapshotBody(pass, fd)
+			if what := returnsDeterministicView(sig); what != "" {
+				checkSnapshotBody(pass, fd, what)
 			}
 		}
 	}
 	return nil, nil
 }
 
-// returnsInspectView reports whether any result of sig, unwrapping
-// pointers, slices and arrays, is a named type defined in a package
-// whose import path ends in internal/inspect.
-func returnsInspectView(sig *types.Signature) bool {
+// returnsDeterministicView reports what kind of deterministic artifact
+// sig builds ("" for none): any result whose type, unwrapping pointers,
+// slices and arrays, is a named type defined in a package matching
+// deterministicViewPkgs.
+func returnsDeterministicView(sig *types.Signature) string {
 	res := sig.Results()
 	for i := 0; i < res.Len(); i++ {
 		t := res.At(i).Type()
@@ -108,15 +124,21 @@ func returnsInspectView(sig *types.Signature) bool {
 			continue
 		}
 		obj := named.Obj()
-		if obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/inspect") {
-			return true
+		if obj.Pkg() == nil {
+			continue
+		}
+		for _, p := range deterministicViewPkgs {
+			if strings.HasSuffix(obj.Pkg().Path(), p.suffix) {
+				return p.what
+			}
 		}
 	}
-	return false
+	return ""
 }
 
-// checkSnapshotBody flags wall-clock reads in an inspect-view builder.
-func checkSnapshotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+// checkSnapshotBody flags wall-clock reads in a deterministic-artifact
+// builder (inspect views, execution receipts).
+func checkSnapshotBody(pass *analysis.Pass, fd *ast.FuncDecl, what string) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -127,9 +149,9 @@ func checkSnapshotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		pass.Reportf(call.Pos(),
-			"time.%s in %s, which builds inspect views: snapshots carry "+
+			"time.%s in %s, which builds %s: these artifacts carry "+
 				"simulated time only (compute wall-clock rates in the serving layer)",
-			fn, fd.Name.Name)
+			fn, fd.Name.Name, what)
 		return true
 	})
 }

@@ -1,0 +1,41 @@
+// Fixture for the obswallclock analyzer's receipt-builder rule: a
+// function whose results include a type from internal/obs/receipt
+// builds execution receipts — byte-deterministic attestations of a run
+// — and must not read the wall clock; two same-seed runs must produce
+// byte-identical receipts. Functions without receipt result types are
+// out of scope here.
+package fixture
+
+import (
+	"time"
+
+	"coma/internal/obs/receipt"
+)
+
+// stamped builds a receipt and smuggles a wall-clock stamp into it:
+// flagged.
+func stamped(resultDigest string) receipt.Receipt {
+	r := receipt.Receipt{ResultDigest: resultDigest}
+	r.SimCycles = time.Now().UnixMilli() // want `time.Now in stamped, which builds execution receipts`
+	return r
+}
+
+// invariants returns a pointer result; the pointer is unwrapped:
+// flagged.
+func invariants(started time.Time) *receipt.Invariants {
+	inv := &receipt.Invariants{}
+	inv.Violations = int(time.Since(started)) // want `time.Since in invariants, which builds execution receipts`
+	return inv
+}
+
+// clean derives every field from the run: no findings.
+func clean(digest string, cycles int64) receipt.Receipt {
+	return receipt.Receipt{ResultDigest: digest, SimCycles: cycles}
+}
+
+// servingLayer returns no receipt types, so its wall-clock use is out
+// of scope for this analyzer (request latency is the serving layer's
+// business).
+func servingLayer(prev time.Time) float64 {
+	return time.Since(prev).Seconds()
+}

@@ -1,0 +1,54 @@
+package receipt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReceiptRoundTrip mirrors obs.FuzzJSONLRoundTrip for the receipt
+// encoding: any input Parse accepts must re-encode to the canonical
+// bytes, parse back to a deeply equal receipt, and be byte-stable
+// across a second round trip. Because Parse enforces canonical form,
+// acceptance itself implies the input was already canonical.
+func FuzzReceiptRoundTrip(f *testing.F) {
+	r := Receipt{
+		Schema:       Schema,
+		RunHash:      "a210effd7b61d7d82c2d04c8648333eadd541f51547ec004854694a4beabac9a",
+		Revision:     "rev-test",
+		Producer:     "local",
+		ResultDigest: "4ec7b4bd989a77c8d90741239d834fca7e1239cef9ead7d5c2a39e5621835f6c",
+		SimCycles:    1234,
+		SimEvents:    5678,
+	}
+	f.Add(r.CanonicalJSON())
+	r.TraceDigest = "ba9c21e39b02e3a9d33164c9c75e2c6d6f17939e98a949121d85d08ef53d2407"
+	r.TraceEvents = 3
+	r.Invariants = &Invariants{Verdict: VerdictOK, EdgesExercised: 3, EdgesTotal: 35}
+	f.Add(r.CanonicalJSON())
+	f.Add(r.Sign([]byte("k")).CanonicalJSON())
+	f.Add([]byte(`{"schema":"coma-receipt/v1"}`))
+	f.Add([]byte(`{"schema":"coma-receipt/v9"}`))
+	f.Add([]byte(`not a receipt`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		first, err := Parse(data)
+		if err != nil {
+			return // rejected inputs are out of scope
+		}
+		canon := first.CanonicalJSON()
+		if !bytes.Equal(canon, bytes.TrimSpace(data)) {
+			t.Fatalf("accepted non-canonical input:\n in %q\nout %q", data, canon)
+		}
+		second, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("re-encoded receipt rejected: %v\n%q", err, canon)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("round trip changed the receipt:\n%+v\n%+v", first, second)
+		}
+		if again := second.CanonicalJSON(); !bytes.Equal(canon, again) {
+			t.Fatalf("re-encoding not byte-stable:\n%q\n%q", canon, again)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package receipt_test
+
+import (
+	"bytes"
+	"testing"
+
+	"coma/internal/obs"
+	"coma/internal/obs/receipt"
+	"coma/internal/server"
+)
+
+// TestSameSeedReceiptsByteIdentical is the acceptance property end to
+// end on the real simulator: two runs of the same identity produce
+// byte-identical receipts (and byte-identical trace bytes under the
+// receipt mask). External test package so it can drive server.SimRunner
+// without an import cycle.
+func TestSameSeedReceiptsByteIdentical(t *testing.T) {
+	spec := server.JobSpec{
+		App: "uniform", Protocol: "ecp", Nodes: 4, Scale: 0.001,
+		Seed: 11, CheckpointHz: 50,
+	}
+	id, err := spec.Identity("rev-fixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() ([]byte, []byte) {
+		rec := obs.NewRecorder(receipt.TraceMask)
+		run, err := server.SimRunner(id, server.RunOptions{Observer: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		result, err := server.MarshalResult(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, trace, err := receipt.Build(id, result, rec.Events(), receipt.ProducerLocal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every genuine receipt must attest against its own artifacts.
+		if err := r.Attest(receipt.Artifacts{Result: result, Trace: trace}, nil); err != nil {
+			t.Fatalf("genuine receipt failed attestation: %v", err)
+		}
+		return r.CanonicalJSON(), trace
+	}
+	r1, t1 := runOnce()
+	r2, t2 := runOnce()
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("same-seed receipts differ:\n%s\n%s", r1, r2)
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Fatal("same-seed receipt traces differ")
+	}
+}

@@ -1,0 +1,32 @@
+package txnview
+
+import "coma/internal/obs"
+
+// Summary condenses a trace's invariant verdict and protocol-edge
+// coverage into the four numbers an execution receipt records
+// (internal/obs/receipt). It is the single place where "did this run
+// uphold the protocol's invariants" becomes a comparable value, so the
+// receipt producer and the attest verifier cannot drift apart.
+type Summary struct {
+	// OK is Check's verdict: no invariant violations.
+	OK bool
+	// Violations is the number of invariant violations Check found.
+	Violations int
+	// EdgesExercised / EdgesTotal are Coverage's protocol-edge counts
+	// against the proto.ECPTransitions specification table.
+	EdgesExercised int
+	EdgesTotal     int
+}
+
+// Summarize runs the offline invariant checker and the coverage diff
+// over one trace and condenses both reports.
+func Summarize(events []obs.Event) Summary {
+	chk := Check(events)
+	cov := Coverage(events)
+	return Summary{
+		OK:             chk.OK(),
+		Violations:     len(chk.Violations),
+		EdgesExercised: len(cov.Exercised),
+		EdgesTotal:     len(cov.Exercised) + len(cov.Unexercised),
+	}
+}

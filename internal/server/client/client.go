@@ -208,7 +208,25 @@ func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error
 
 // Result fetches the raw canonical result payload.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+	return c.getRaw(ctx, "/v1/jobs/"+id+"/result")
+}
+
+// Receipt fetches a done job's execution receipt: the canonical
+// coma-receipt/v1 JSON attesting the run (verify offline with
+// `comatrace attest`).
+func (c *Client) Receipt(ctx context.Context, id string) ([]byte, error) {
+	return c.getRaw(ctx, "/v1/jobs/"+id+"/receipt")
+}
+
+// Trace fetches the JSONL observability trace recorded for a done job,
+// when the daemon executed it locally and kept one.
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	return c.getRaw(ctx, "/v1/jobs/"+id+"/trace")
+}
+
+// getRaw fetches a sub-resource as uninterpreted bytes.
+func (c *Client) getRaw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, err
 	}

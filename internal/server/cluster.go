@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"coma/internal/config"
+	"coma/internal/obs/receipt"
 )
 
 // This file is the cluster coordinator: the scheduler comad runs with
@@ -132,6 +133,11 @@ type CompleteRequest struct {
 	JobID  string          `json:"job_id"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Receipt is the worker's execution receipt for the run (canonical
+	// coma-receipt/v1 bytes). The coordinator recomputes the result
+	// digest against it before accepting the payload; when the
+	// coordinator holds a receipt key, the receipt must verify under it.
+	Receipt json.RawMessage `json:"receipt,omitempty"`
 }
 
 // ProgressEvent is one forwarded progress line for SSE re-broadcast.
@@ -221,6 +227,9 @@ type clusterTable struct {
 	leaseExpiries int64
 	requeues      int64
 	steals        int64
+	// digestMismatches counts completions rejected because the payload
+	// failed round-trip validation or its receipt's digest/signature.
+	digestMismatches int64
 }
 
 func newClusterTable(opts Options) *clusterTable {
@@ -431,11 +440,12 @@ func (s *Server) touchLocked(w *worker, now time.Time) {
 
 // clusterStats is the /metrics snapshot of the scheduler.
 type clusterStats struct {
-	enabled       bool
-	active, dead  int
-	leaseExpiries int64
-	requeues      int64
-	steals        int64
+	enabled          bool
+	active, dead     int
+	leaseExpiries    int64
+	requeues         int64
+	steals           int64
+	digestMismatches int64
 }
 
 // clusterStatsLocked snapshots the worker registry for the metrics
@@ -448,6 +458,7 @@ func (s *Server) clusterStatsLocked() clusterStats {
 	st.leaseExpiries = s.clu.leaseExpiries
 	st.requeues = s.clu.requeues
 	st.steals = s.clu.steals
+	st.digestMismatches = s.clu.digestMismatches
 	for _, w := range s.clu.workers {
 		switch w.state {
 		case workerActive:
@@ -666,6 +677,18 @@ func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Validate the payload before it can touch the store: the result
+	// must survive a MarshalResult round trip, and the worker's receipt
+	// (when present — always, when a receipt key is enforced) must name
+	// this job and carry the payload's exact digest. Pure CPU, so it
+	// runs outside the scheduler lock.
+	var vErr error
+	var rcpt receipt.Receipt
+	var hasReceipt bool
+	if req.Error == "" {
+		rcpt, hasReceipt, vErr = s.validateCompletion(req)
+	}
+
 	now := time.Now()
 	s.mu.Lock()
 	if wk.state == workerActive {
@@ -680,11 +703,32 @@ func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
 	delete(wk.leases, req.JobID)
 	delete(wk.running, req.JobID)
 	if j.state.Terminal() {
+		if vErr != nil {
+			// Corrupt duplicate: the job already completed from elsewhere,
+			// so the poison had nowhere to land — still refuse it.
+			s.clu.digestMismatches++
+			s.mu.Unlock()
+			s.respondError(w, http.StatusUnprocessableEntity, vErr)
+			return
+		}
 		// Duplicate completion (requeue raced the original worker):
 		// determinism makes both results identical, first one won.
 		st := j.status(false)
 		s.mu.Unlock()
 		s.respondJSON(w, http.StatusOK, st)
+		return
+	}
+	if vErr != nil {
+		// A corrupt or byzantine completion is treated like a lease
+		// expiry: the attempt is burned and the job goes back on the
+		// queue for a different execution (dead-letter past the limit).
+		s.clu.digestMismatches++
+		if j.state == StateRunning && j.workerID == wk.id {
+			s.requeueLocked(j, fmt.Sprintf("completion from worker %s rejected: %v", wk.id, vErr), true)
+		}
+		s.mu.Unlock()
+		s.logf("job %s: completion from worker %s rejected: %v", shortID(req.JobID), wk.id, vErr)
+		s.respondError(w, http.StatusUnprocessableEntity, vErr)
 		return
 	}
 	switch j.state {
@@ -712,11 +756,24 @@ func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	st := j.status(false)
 	started := j.startedAt
+	identity := j.identity
 	s.mu.Unlock()
 
 	if req.Error != "" {
 		s.logf("job %s: failed on worker %s: %s", shortID(req.JobID), wk.id, req.Error)
 	} else {
+		if !hasReceipt {
+			// Worker sent no receipt (older agent, or receipts disabled):
+			// synthesize an unchecked one from the validated payload so
+			// every completed job still serves /receipt.
+			rcpt, _, vErr = receipt.Build(identity, req.Result, nil, workerProducer(wk))
+		}
+		if vErr == nil {
+			if !hasReceipt && len(s.opts.ReceiptKey) > 0 {
+				rcpt = rcpt.Sign(s.opts.ReceiptKey)
+			}
+			s.storeReceipt(req.JobID, rcpt, nil)
+		}
 		if !started.IsZero() {
 			s.met.observeRunTime(now.Sub(started).Seconds())
 		}
@@ -726,6 +783,51 @@ func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
 		s.logf("job %s: persisting result: %v", shortID(req.JobID), persistErr)
 	}
 	s.respondJSON(w, http.StatusOK, st)
+}
+
+// workerProducer is the producer identity recorded in receipts for a
+// worker's runs.
+func workerProducer(wk *worker) string {
+	if wk.name != "" {
+		return wk.name
+	}
+	return wk.id
+}
+
+// validateCompletion checks a successful completion before it is
+// accepted: the result payload must round-trip through the canonical
+// MarshalResult encoding, and the attached receipt — mandatory when the
+// coordinator enforces a receipt key — must parse, verify, name this
+// job's content address, and record the payload's exact SHA-256. The
+// returned receipt is the worker's (hasReceipt true) or zero.
+func (s *Server) validateCompletion(req CompleteRequest) (rcpt receipt.Receipt, hasReceipt bool, err error) {
+	if _, perr := receipt.ParseResult(req.Result); perr != nil {
+		return rcpt, false, fmt.Errorf("result payload rejected: %w", perr)
+	}
+	if len(req.Receipt) == 0 {
+		if len(s.opts.ReceiptKey) > 0 {
+			return rcpt, false, errors.New("receipt required: coordinator enforces signed receipts")
+		}
+		return rcpt, false, nil
+	}
+	rcpt, perr := receipt.Parse(req.Receipt)
+	if perr != nil {
+		return rcpt, false, fmt.Errorf("receipt rejected: %w", perr)
+	}
+	if len(s.opts.ReceiptKey) > 0 {
+		if serr := rcpt.VerifySignature(s.opts.ReceiptKey); serr != nil {
+			return rcpt, false, fmt.Errorf("receipt signature rejected: %w", serr)
+		}
+	}
+	if rcpt.RunHash != req.JobID {
+		return rcpt, false, fmt.Errorf("receipt names run %s, not job %s",
+			shortID(rcpt.RunHash), shortID(req.JobID))
+	}
+	if got := receipt.Digest(req.Result); got != rcpt.ResultDigest {
+		return rcpt, false, fmt.Errorf("result digest mismatch: receipt records %s, payload hashes to %s",
+			shortID(rcpt.ResultDigest), shortID(got))
+	}
+	return rcpt, true, nil
 }
 
 func (s *Server) handleWorkerProgress(w http.ResponseWriter, r *http.Request) {

@@ -25,6 +25,9 @@ type metrics struct {
 	cacheMiss  int64
 	jobsByEnd  map[State]int64 // terminal states only
 	httpByCode map[int]int64
+	// receipts counts execution receipts emitted or accepted, by
+	// invariant verdict ("ok", "violated", "unchecked").
+	receipts map[string]int64
 
 	queueWait histogram // seconds queued before a worker picks the job up
 	runTime   histogram // seconds simulating (done jobs)
@@ -43,6 +46,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		jobsByEnd:  make(map[State]int64),
 		httpByCode: make(map[int]int64),
+		receipts:   make(map[string]int64),
 		queueWait:  newHistogram(bounds),
 		runTime:    newHistogram(bounds),
 	}
@@ -72,6 +76,12 @@ func (m *metrics) countHTTP(code int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.httpByCode[code]++
+}
+
+func (m *metrics) countReceipt(verdict string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.receipts[verdict]++
 }
 
 func (m *metrics) observeQueueWait(seconds float64) {
@@ -124,6 +134,12 @@ func (m *metrics) write(w io.Writer, queueDepth, inflight, storeLen int, jobs []
 		fmt.Fprintf(w, "comad_jobs_total{state=%q} %d\n", string(st), m.jobsByEnd[st])
 	}
 
+	fmt.Fprintf(w, "# HELP coma_receipts_total Execution receipts emitted or accepted, by invariant verdict.\n")
+	fmt.Fprintf(w, "# TYPE coma_receipts_total counter\n")
+	for _, verdict := range []string{"ok", "violated", "unchecked"} {
+		fmt.Fprintf(w, "coma_receipts_total{verdict=%q} %d\n", verdict, m.receipts[verdict])
+	}
+
 	// Cluster scheduler families: emitted unconditionally (zeros on a
 	// single-process daemon) so scrapers see stable metadata.
 	fmt.Fprintf(w, "# HELP coma_cluster_workers Registered worker nodes by state.\n")
@@ -136,6 +152,8 @@ func (m *metrics) write(w io.Writer, queueDepth, inflight, storeLen int, jobs []
 	fmt.Fprintf(w, "# TYPE coma_cluster_requeues_total counter\ncoma_cluster_requeues_total %d\n", clu.requeues)
 	fmt.Fprintf(w, "# HELP coma_cluster_steals_total Unstarted leases reassigned from a backlogged worker to an idle one.\n")
 	fmt.Fprintf(w, "# TYPE coma_cluster_steals_total counter\ncoma_cluster_steals_total %d\n", clu.steals)
+	fmt.Fprintf(w, "# HELP coma_cluster_digest_mismatches_total Worker completions rejected because the payload failed validation or its receipt digest.\n")
+	fmt.Fprintf(w, "# TYPE coma_cluster_digest_mismatches_total counter\ncoma_cluster_digest_mismatches_total %d\n", clu.digestMismatches)
 
 	fmt.Fprintf(w, "# HELP comad_http_responses_total HTTP responses by status code.\n")
 	fmt.Fprintf(w, "# TYPE comad_http_responses_total counter\n")

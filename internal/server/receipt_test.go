@@ -1,0 +1,356 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"coma/internal/config"
+	"coma/internal/obs/receipt"
+	"coma/internal/stats"
+)
+
+// fetch GETs a job sub-resource, returning status code and body.
+func fetch(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+// TestLocalJobEmitsReceipt: every locally executed job leaves a receipt
+// in the store (unchecked verdict here: the counting runner never emits
+// observability events), served on /receipt and counted on /metrics.
+func TestLocalJobEmitsReceipt(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Revision: "rcpt-rev",
+		Runner: func(id config.RunIdentity, _ RunOptions) (*stats.Run, error) {
+			return fakeRun(id), nil
+		}})
+	resp, st := postJob(t, ts, specJSON(1), true)
+	if resp.StatusCode != http.StatusOK || st.State != StateDone {
+		t.Fatalf("submit: status %d state %s", resp.StatusCode, st.State)
+	}
+
+	code, body := fetch(t, ts, "/v1/jobs/"+st.ID+"/receipt")
+	if code != http.StatusOK {
+		t.Fatalf("GET receipt: status %d (%s)", code, body)
+	}
+	rcpt, err := receipt.Parse(body)
+	if err != nil {
+		t.Fatalf("served receipt does not parse: %v", err)
+	}
+	if rcpt.RunHash != st.ID || rcpt.Producer != receipt.ProducerLocal {
+		t.Fatalf("receipt = %s, want run_hash %s producer local", body, st.ID)
+	}
+	if rcpt.VerdictLabel() != "unchecked" {
+		t.Fatalf("verdict = %s, want unchecked (no events recorded)", rcpt.VerdictLabel())
+	}
+	if rcpt.Revision != "rcpt-rev" {
+		t.Fatalf("receipt revision = %q, want rcpt-rev", rcpt.Revision)
+	}
+
+	// The receipt attests against the exact bytes /result serves.
+	code, result := fetch(t, ts, "/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("GET result: status %d", code)
+	}
+	if err := rcpt.Attest(receipt.Artifacts{Result: result}, nil); err != nil {
+		t.Fatalf("served receipt fails against served result: %v", err)
+	}
+
+	m := parseExposition(t, scrape(t, ts))
+	if m[`coma_receipts_total{verdict="unchecked"}`] != 1 {
+		t.Fatalf("receipts{unchecked} = %v, want 1", m[`coma_receipts_total{verdict="unchecked"}`])
+	}
+
+	// No trace was recorded (no events), so /trace is absent.
+	if code, _ := fetch(t, ts, "/v1/jobs/"+st.ID+"/trace"); code != http.StatusNotFound {
+		t.Fatalf("GET trace: status %d, want 404", code)
+	}
+}
+
+// TestRealRunReceiptAttestsEndToEnd drives the real simulator through
+// the daemon and closes the whole loop over HTTP: receipt + result +
+// trace fetched, signature verified, every digest and the invariant
+// verdict recomputed.
+func TestRealRunReceiptAttestsEndToEnd(t *testing.T) {
+	key := []byte("e2e-receipt-key")
+	_, ts := newTestServer(t, Options{Workers: 1, ReceiptKey: key})
+	resp, st := postJob(t, ts, `{"app":"uniform","nodes":4,"protocol":"ecp","seed":11,"scale":0.001,"hz":50}`, true)
+	if resp.StatusCode != http.StatusOK || st.State != StateDone {
+		t.Fatalf("submit: status %d state %s err %q", resp.StatusCode, st.State, st.Error)
+	}
+	_, body := fetch(t, ts, "/v1/jobs/"+st.ID+"/receipt")
+	rcpt, err := receipt.Parse(body)
+	if err != nil {
+		t.Fatalf("receipt: %v", err)
+	}
+	if rcpt.VerdictLabel() != "ok" {
+		t.Fatalf("verdict = %s, want ok", rcpt.VerdictLabel())
+	}
+	if rcpt.TraceEvents == 0 || rcpt.Invariants.EdgesTotal != 35 {
+		t.Fatalf("receipt trace summary implausible: %s", body)
+	}
+	_, result := fetch(t, ts, "/v1/jobs/"+st.ID+"/result")
+	code, trace := fetch(t, ts, "/v1/jobs/"+st.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET trace: status %d", code)
+	}
+	if err := rcpt.Attest(receipt.Artifacts{Result: result, Trace: trace}, key); err != nil {
+		t.Fatalf("end-to-end attestation failed: %v", err)
+	}
+	// Tamper check across the HTTP surface too: one byte in the served
+	// trace must be caught.
+	bad := append([]byte(nil), trace...)
+	bad[len(bad)/2] ^= 1
+	err = rcpt.Attest(receipt.Artifacts{Result: result, Trace: bad}, key)
+	fe, ok := err.(*receipt.FieldError)
+	if !ok || fe.Field != "trace_digest" {
+		t.Fatalf("tampered trace: err = %v, want trace_digest field error", err)
+	}
+}
+
+// TestCompleteRejectsGarbagePayload: a payload that fails the
+// MarshalResult round trip is refused with 422, the job requeues with
+// its attempt burned (lease-expiry semantics), and the mismatch metric
+// increments; a subsequent well-formed completion lands byte-identical.
+func TestCompleteRejectsGarbagePayload(t *testing.T) {
+	_, ts := newTestServer(t, Options{Cluster: true, Revision: "test-rev"})
+	wid := registerWorker(t, ts, "sloppy", 1)
+	resp, st := postJob(t, ts, specJSON(21), false)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	lr := leaseJobs(t, ts, wid, 1)
+	if len(lr.Jobs) != 1 {
+		t.Fatalf("lease = %+v", lr)
+	}
+
+	for _, garbage := range []string{`"not a run"`, `{"bogus_field":1}`, `{}`} {
+		cresp := workerPost(t, ts, "/v1/workers/"+wid+"/complete",
+			CompleteRequest{JobID: st.ID, Result: json.RawMessage(garbage)}, nil)
+		if cresp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("garbage %q: status %d, want 422", garbage, cresp.StatusCode)
+		}
+		// Only the first rejection requeues (the worker no longer owns
+		// the job afterwards); all of them count as mismatches.
+	}
+	got := jobStatus(t, ts, st.ID)
+	if got.State != StateQueued || got.Requeues != 1 {
+		t.Fatalf("after rejection: state=%s requeues=%d, want queued/1", got.State, got.Requeues)
+	}
+	m := parseExposition(t, scrape(t, ts))
+	if m["coma_cluster_digest_mismatches_total"] != 3 {
+		t.Fatalf("digest mismatches = %v, want 3", m["coma_cluster_digest_mismatches_total"])
+	}
+
+	// The same worker re-leases the requeued job and completes properly.
+	lr = leaseJobs(t, ts, wid, 1)
+	if len(lr.Jobs) != 1 || lr.Jobs[0].Attempt != 1 {
+		t.Fatalf("re-lease = %+v, want attempt 1", lr)
+	}
+	payload, err := MarshalResult(fakeRun(lr.Jobs[0].Identity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp := workerPost(t, ts, "/v1/workers/"+wid+"/complete",
+		CompleteRequest{JobID: st.ID, Result: payload}, nil)
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("valid complete: status %d", cresp.StatusCode)
+	}
+	_, stored := fetch(t, ts, "/v1/jobs/"+st.ID+"/result")
+	if !bytes.Equal(stored, payload) {
+		t.Fatal("stored payload differs from the worker's valid result")
+	}
+	// The coordinator synthesized an unchecked receipt for the
+	// receipt-less completion.
+	code, body := fetch(t, ts, "/v1/jobs/"+st.ID+"/receipt")
+	if code != http.StatusOK {
+		t.Fatalf("GET receipt: status %d", code)
+	}
+	rcpt, err := receipt.Parse(body)
+	if err != nil || rcpt.Producer != "sloppy" || rcpt.VerdictLabel() != "unchecked" {
+		t.Fatalf("synthesized receipt = %s (err %v), want unchecked from sloppy", body, err)
+	}
+}
+
+// TestClusterDigestMismatchRequeuedByteIdentical is the acceptance
+// scenario: a worker whose result bytes were corrupted in transit
+// (receipt digest no longer matches) is rejected and the job requeued
+// like a lease expiry; a healthy completion then lands, and the cached
+// table is byte-identical to what a local run of the same identity
+// produces.
+func TestClusterDigestMismatchRequeuedByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Options{Cluster: true, Revision: "test-rev"})
+	wid := registerWorker(t, ts, "corrupted", 1)
+	resp, st := postJob(t, ts, specJSON(22), false)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	lr := leaseJobs(t, ts, wid, 1)
+	if len(lr.Jobs) != 1 {
+		t.Fatalf("lease = %+v", lr)
+	}
+	identity := lr.Jobs[0].Identity
+
+	// The reference payload: what any in-process run of this identity
+	// marshals to (the runner is deterministic in the identity).
+	local, err := MarshalResult(fakeRun(identity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcpt, _, err := receipt.Build(identity, local, nil, "corrupted")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-transit corruption: the receipt was computed over the genuine
+	// bytes, the payload that arrives differs by one byte (still valid
+	// JSON so only the digest can catch it).
+	corrupt := bytes.Replace(local, []byte(`"Cycles":12345`), []byte(`"Cycles":12346`), 1)
+	if bytes.Equal(corrupt, local) {
+		t.Fatalf("corruption did not apply to %s", local)
+	}
+	cresp := workerPost(t, ts, "/v1/workers/"+wid+"/complete",
+		CompleteRequest{JobID: st.ID, Result: corrupt, Receipt: rcpt.CanonicalJSON()}, nil)
+	if cresp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt complete: status %d, want 422", cresp.StatusCode)
+	}
+	got := jobStatus(t, ts, st.ID)
+	if got.State != StateQueued || got.Requeues != 1 {
+		t.Fatalf("after mismatch: state=%s requeues=%d, want queued/1", got.State, got.Requeues)
+	}
+	m := parseExposition(t, scrape(t, ts))
+	if m["coma_cluster_digest_mismatches_total"] != 1 || m["coma_cluster_requeues_total"] != 1 {
+		t.Fatalf("mismatches/requeues = %v/%v, want 1/1",
+			m["coma_cluster_digest_mismatches_total"], m["coma_cluster_requeues_total"])
+	}
+
+	// Healthy retry: genuine payload with its genuine receipt.
+	lr = leaseJobs(t, ts, wid, 1)
+	if len(lr.Jobs) != 1 || lr.Jobs[0].Attempt != 1 {
+		t.Fatalf("re-lease = %+v, want attempt 1", lr)
+	}
+	cresp = workerPost(t, ts, "/v1/workers/"+wid+"/complete",
+		CompleteRequest{JobID: st.ID, Result: local, Receipt: rcpt.CanonicalJSON()}, nil)
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy complete: status %d", cresp.StatusCode)
+	}
+	if got := jobStatus(t, ts, st.ID); got.State != StateDone {
+		t.Fatalf("final state = %s, want done", got.State)
+	}
+	_, stored := fetch(t, ts, "/v1/jobs/"+st.ID+"/result")
+	if !bytes.Equal(stored, local) {
+		t.Fatalf("cached table differs from the local run:\n%s\n%s", stored, local)
+	}
+	// The worker's own receipt is the one served.
+	_, body := fetch(t, ts, "/v1/jobs/"+st.ID+"/receipt")
+	if !bytes.Equal(bytes.TrimSpace(body), rcpt.CanonicalJSON()) {
+		t.Fatalf("served receipt is not the worker's:\n%s\n%s", body, rcpt.CanonicalJSON())
+	}
+	m = parseExposition(t, scrape(t, ts))
+	if m[`coma_receipts_total{verdict="unchecked"}`] != 1 {
+		t.Fatalf("receipts{unchecked} = %v, want 1", m[`coma_receipts_total{verdict="unchecked"}`])
+	}
+}
+
+// TestReceiptKeyEnforced: a coordinator holding a receipt key refuses
+// completions without a receipt, with an unsigned receipt, and with a
+// receipt signed under the wrong key; the properly signed one lands.
+func TestReceiptKeyEnforced(t *testing.T) {
+	key := []byte("fleet-secret")
+	_, ts := newTestServer(t, Options{Cluster: true, Revision: "test-rev",
+		ReceiptKey: key, LeaseTTL: time.Minute, MaxRequeues: 10})
+	wid := registerWorker(t, ts, "w", 1)
+	resp, st := postJob(t, ts, specJSON(23), false)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	relese := func() config.RunIdentity {
+		t.Helper()
+		lr := leaseJobs(t, ts, wid, 1)
+		if len(lr.Jobs) != 1 {
+			t.Fatalf("lease = %+v", lr)
+		}
+		return lr.Jobs[0].Identity
+	}
+	identity := relese()
+	payload, err := MarshalResult(fakeRun(identity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcpt, _, err := receipt.Build(identity, payload, nil, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, raw := range map[string]json.RawMessage{
+		"no receipt":       nil,
+		"unsigned receipt": rcpt.CanonicalJSON(),
+		"wrong key":        rcpt.Sign([]byte("other")).CanonicalJSON(),
+	} {
+		cresp := workerPost(t, ts, "/v1/workers/"+wid+"/complete",
+			CompleteRequest{JobID: st.ID, Result: payload, Receipt: raw}, nil)
+		if cresp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("%s: status %d, want 422", name, cresp.StatusCode)
+		}
+		relese()
+	}
+	cresp := workerPost(t, ts, "/v1/workers/"+wid+"/complete",
+		CompleteRequest{JobID: st.ID, Result: payload, Receipt: rcpt.Sign(key).CanonicalJSON()}, nil)
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("signed complete: status %d", cresp.StatusCode)
+	}
+	if got := jobStatus(t, ts, st.ID); got.State != StateDone {
+		t.Fatalf("final state = %s, want done", got.State)
+	}
+}
+
+// TestStoreAuxRoundTrip covers the persistence path: aux artifacts
+// written beside a result survive a store restart (read-through).
+func TestStoreAuxRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := config.RunIdentity{App: "uniform", Protocol: "ecp"}.Hash()
+	if err := st.Put(key, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutAux(key, AuxReceipt, []byte(`{"schema":"coma-receipt/v1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutAux(key, AuxTrace, []byte("{}\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutAux(key, "evil-kind", []byte("x")); err == nil {
+		t.Fatal("PutAux accepted an unknown kind")
+	}
+
+	fresh, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := fresh.GetAux(key, AuxReceipt); !ok || string(got) != `{"schema":"coma-receipt/v1"}` {
+		t.Fatalf("receipt read-through = %q/%v", got, ok)
+	}
+	if got, ok := fresh.GetAux(key, AuxTrace); !ok || string(got) != "{}\n" {
+		t.Fatalf("trace read-through = %q/%v", got, ok)
+	}
+	if _, ok := fresh.GetAux(key, "evil-kind"); ok {
+		t.Fatal("GetAux served an unknown kind")
+	}
+	if _, ok := fresh.GetAux("nope", AuxReceipt); ok {
+		t.Fatal("GetAux served an invalid key")
+	}
+}

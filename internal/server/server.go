@@ -36,6 +36,8 @@ import (
 	"coma/internal/config"
 	"coma/internal/experiments/runner"
 	"coma/internal/inspect"
+	"coma/internal/obs"
+	"coma/internal/obs/receipt"
 )
 
 // Options configures a Server.
@@ -56,6 +58,17 @@ type Options struct {
 	Runner Runner
 	// Logf receives operational log lines (nil: discarded).
 	Logf func(format string, args ...any)
+
+	// NoReceipts disables execution receipts. By default every job run
+	// in-process records a receipt-grade trace (receipt.TraceMask) and
+	// emits a coma-receipt/v1 document into the store beside the result;
+	// the trace is buffered in memory for the run's duration, so
+	// operators running enormous single jobs can opt out.
+	NoReceipts bool
+	// ReceiptKey, when non-empty, HMAC-signs every emitted receipt and
+	// requires worker-submitted receipts to verify under the same key —
+	// for fleets whose transport is not trusted.
+	ReceiptKey []byte
 
 	// Cluster switches the daemon into coordinator mode: jobs are not
 	// executed in-process but dispatched to registered worker nodes
@@ -137,6 +150,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/receipt", s.handleReceipt)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/inspect", s.handleInspect)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/inspect/stream", s.handleInspectStream)
@@ -320,8 +335,17 @@ func (s *Server) execute(j *job) {
 			s.mu.Unlock()
 		}
 	}
+	// The always-on invariant gate: unless disabled, a receipt-grade
+	// recorder tees off the same stream so every completed job leaves a
+	// verifiable execution receipt (and its trace) in the store.
+	var rec *obs.Recorder
+	var runObs obs.Observer = observer
+	if !s.opts.NoReceipts {
+		rec = obs.NewRecorder(receipt.TraceMask)
+		runObs = teeObserver{observer, rec}
+	}
 	opts := RunOptions{
-		Observer: observer,
+		Observer: runObs,
 		// Every job gets a live-inspection controller: the /inspect
 		// endpoints and the per-job /metrics gauges read through it, and
 		// an idle controller costs one predictable branch per event.
@@ -339,6 +363,7 @@ func (s *Server) execute(j *job) {
 	var persistErr error
 	if err == nil {
 		persistErr = s.store.Put(j.id, payload)
+		s.emitReceipt(j, payload, rec)
 	}
 
 	s.mu.Lock()
@@ -366,6 +391,40 @@ func (s *Server) execute(j *job) {
 	if persistErr != nil {
 		s.logf("job %s: persisting result: %v", shortID(j.id), persistErr)
 	}
+}
+
+// emitReceipt builds, signs and stores the execution receipt (plus its
+// trace) for one locally executed job. A receipt failure never fails
+// the job — the result is already stored and correct — it is logged
+// and the receipt is simply absent.
+func (s *Server) emitReceipt(j *job, payload []byte, rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rcpt, trace, err := receipt.Build(j.identity, payload, rec.Events(), receipt.ProducerLocal)
+	if err != nil {
+		s.logf("job %s: building receipt: %v", shortID(j.id), err)
+		return
+	}
+	if len(s.opts.ReceiptKey) > 0 {
+		rcpt = rcpt.Sign(s.opts.ReceiptKey)
+	}
+	s.storeReceipt(j.id, rcpt, trace)
+}
+
+// storeReceipt files a receipt (and optional trace bytes) beside the
+// job's result and counts it by verdict.
+func (s *Server) storeReceipt(id string, rcpt receipt.Receipt, trace []byte) {
+	if err := s.store.PutAux(id, AuxReceipt, append(rcpt.CanonicalJSON(), '\n')); err != nil {
+		s.logf("job %s: persisting receipt: %v", shortID(id), err)
+	}
+	if trace != nil {
+		if err := s.store.PutAux(id, AuxTrace, trace); err != nil {
+			s.logf("job %s: persisting trace: %v", shortID(id), err)
+		}
+	}
+	s.met.countReceipt(rcpt.VerdictLabel())
+	s.logf("job %s: receipt %s (%s)", shortID(id), rcpt.VerdictLabel(), shortID(rcpt.ResultDigest))
 }
 
 // finishLocked moves a job to a terminal state: final event, done
@@ -528,6 +587,43 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	// Raw stored bytes: the byte-identical payload contract, verbatim.
 	w.Header().Set("Content-Type", "application/json")
+	s.met.countHTTP(http.StatusOK)
+	w.Write(payload)
+}
+
+// handleReceipt serves the job's execution receipt: the canonical
+// coma-receipt/v1 bytes stored beside the result.
+func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
+	s.serveAux(w, r, AuxReceipt, "application/json")
+}
+
+// handleTrace serves the receipt-grade observability trace (canonical
+// JSONL) recorded for a locally executed job — the artifact `comatrace
+// attest -trace` replays against the receipt's verdict.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.serveAux(w, r, AuxTrace, "application/x-ndjson")
+}
+
+func (s *Server) serveAux(w http.ResponseWriter, r *http.Request, kind, contentType string) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	state := j.state
+	s.mu.Unlock()
+	if state != StateDone {
+		s.respondError(w, http.StatusConflict, fmt.Errorf("job is %s", state))
+		return
+	}
+	payload, ok := s.store.GetAux(j.id, kind)
+	if !ok {
+		s.respondError(w, http.StatusNotFound, fmt.Errorf("no %s recorded for this job", kind))
+		return
+	}
+	// Raw stored bytes, like /result: attestation is a byte-level
+	// contract, so nothing may re-encode them.
+	w.Header().Set("Content-Type", contentType)
 	s.met.countHTTP(http.StatusOK)
 	w.Write(payload)
 }

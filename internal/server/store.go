@@ -20,8 +20,20 @@ import (
 type Store struct {
 	mu  sync.Mutex
 	mem map[string][]byte
+	// aux holds auxiliary artifacts stored beside a result (execution
+	// receipts, observability traces), keyed "<hash>.<kind>". They are
+	// content-derived like the results they annotate, so the same
+	// immutability argument applies. Not counted by Len.
+	aux map[string][]byte
 	dir string // "" disables persistence
 }
+
+// Auxiliary artifact kinds stored beside a result (the file suffix on
+// disk: "<hash>.<kind>").
+const (
+	AuxReceipt = "receipt.json"
+	AuxTrace   = "trace.jsonl"
+)
 
 // NewStore returns a store, creating the persistence directory if one
 // is given.
@@ -31,7 +43,7 @@ func NewStore(dir string) (*Store, error) {
 			return nil, fmt.Errorf("server: cache dir: %w", err)
 		}
 	}
-	return &Store{mem: make(map[string][]byte), dir: dir}, nil
+	return &Store{mem: make(map[string][]byte), aux: make(map[string][]byte), dir: dir}, nil
 }
 
 // Get returns the payload stored under key, consulting the persistence
@@ -82,6 +94,65 @@ func (st *Store) Put(key string, payload []byte) error {
 		return werr
 	}
 	return os.Rename(tmp.Name(), filepath.Join(st.dir, key+".json"))
+}
+
+// GetAux returns an auxiliary artifact stored beside key, consulting
+// the persistence directory on a memory miss.
+func (st *Store) GetAux(key, kind string) ([]byte, bool) {
+	name := key + "." + kind
+	st.mu.Lock()
+	payload, ok := st.aux[name]
+	st.mu.Unlock()
+	if ok {
+		return payload, true
+	}
+	if st.dir == "" || !validKey(key) || !validAuxKind(kind) {
+		return nil, false
+	}
+	payload, err := os.ReadFile(filepath.Join(st.dir, name))
+	if err != nil {
+		return nil, false
+	}
+	st.mu.Lock()
+	st.aux[name] = payload
+	st.mu.Unlock()
+	return payload, true
+}
+
+// PutAux stores an auxiliary artifact beside key, with the same
+// semantics as Put (memory always, write-through when persistent).
+func (st *Store) PutAux(key, kind string, payload []byte) error {
+	if !validAuxKind(kind) {
+		return fmt.Errorf("server: unknown aux kind %q", kind)
+	}
+	name := key + "." + kind
+	st.mu.Lock()
+	st.aux[name] = payload
+	st.mu.Unlock()
+	if st.dir == "" {
+		return nil
+	}
+	if !validKey(key) {
+		return fmt.Errorf("server: refusing to persist invalid key %q", key)
+	}
+	tmp, err := os.CreateTemp(st.dir, "."+name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(payload)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), filepath.Join(st.dir, name))
+}
+
+func validAuxKind(kind string) bool {
+	return kind == AuxReceipt || kind == AuxTrace
 }
 
 // Len returns the number of in-memory entries.
